@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// The heavyweight artifacts (fig6a/fig6b) are covered by the experiments
+// package tests and the root benchmarks; here the lighter commands run end
+// to end through the CLI dispatcher.
+func TestDispatchLightCommands(t *testing.T) {
+	for _, cmd := range []string{"table2", "table4", "table5", "staticextrap"} {
+		if err := dispatch(cmd); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+	}
+}
+
+func TestDispatchFig4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waveform synthesis in -short mode")
+	}
+	if err := dispatch("fig4"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDispatchUnknown(t *testing.T) {
+	if err := dispatch("nonsense"); err == nil {
+		t.Error("unknown command should error")
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run("GT240", "", "", false, true, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStatic(t *testing.T) {
+	for _, gpu := range []string{"GT240", "GTX580"} {
+		if err := run(gpu, "", "", true, false, "", false); err != nil {
+			t.Fatalf("%s: %v", gpu, err)
+		}
+	}
+}
+
+func TestRunBenchmark(t *testing.T) {
+	if err := run("GT240", "", "vectorAdd", false, false, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("NoSuchGPU", "", "vectorAdd", false, false, "", false); err == nil {
+		t.Error("unknown GPU should error")
+	}
+	if err := run("GT240", "", "noSuchBench", false, false, "", false); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	if err := run("GT240", "", "", false, false, "", false); err == nil {
+		t.Error("nothing to do should error")
+	}
+	if err := run("GT240", "/does/not/exist.xml", "vectorAdd", false, false, "", false); err == nil {
+		t.Error("missing config file should error")
+	}
+	if err := run("GT240", "", "", false, false, "NoSuchPreset", false); err == nil {
+		t.Error("unknown dump preset should error")
+	}
+}
+
+func TestDumpAndReloadConfig(t *testing.T) {
+	// Round trip a preset through XML and a file: dump to stdout is hard to
+	// capture portably, so exercise the config path directly via -config.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gt240.xml")
+
+	// Redirect stdout for the dump.
+	old := os.Stdout
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = f
+	dumpErr := run("", "", "", false, false, "GT240", false)
+	os.Stdout = old
+	f.Close()
+	if dumpErr != nil {
+		t.Fatal(dumpErr)
+	}
+
+	// Use the dumped config for a simulation.
+	if err := run("", path, "vectorAdd", false, false, "", false); err != nil {
+		t.Fatalf("simulating with dumped config: %v", err)
+	}
+}

@@ -1,0 +1,24 @@
+// Package gpusimpow is a from-scratch Go reproduction of GPUSimPow, the
+// GPGPU power simulation framework of Lucas, Lal, Andersch, Álvarez-Mesa
+// and Juurlink (ISPASS 2013): a cycle-level SIMT GPU performance simulator
+// coupled with a McPAT-style hierarchical power model, validated against
+// virtual GT240 and GTX580 cards through a modeled measurement testbed.
+//
+// The implementation lives under internal/:
+//
+//	internal/kernel      SIMT ISA, assembler, functional execution
+//	internal/sim         cycle-level GPU performance simulator
+//	internal/sim/cache   set-associative cache tag model
+//	internal/tech        technology tier (process nodes, ITRS-style scaling)
+//	internal/circuit     circuit tier (CACTI-lite array/CAM/crossbar models)
+//	internal/gddr        GDDR5 DRAM power (Micron methodology)
+//	internal/power       architecture tier: GPGPU-Pow component models
+//	internal/core        the GPUSimPow framework (sim x power coupling)
+//	internal/hw          virtual cards + measurement rig (validation substrate)
+//	internal/bench       Table I benchmark suite (+ needle), 19 kernels
+//	internal/experiments every table and figure of the paper's evaluation
+//
+// Entry points: cmd/gpusimpow (simulate kernels, print power profiles),
+// cmd/gpowexp (regenerate the paper's tables and figures), and the runnable
+// examples under examples/.
+package gpusimpow

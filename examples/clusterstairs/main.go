@@ -1,0 +1,56 @@
+// Clusterstairs: reproduce the paper's Figure 4 measurement live — run the
+// same kernel with 1..12 thread blocks on the virtual GT240 and render the
+// measured power waveform, showing the cluster-activation staircase and the
+// global scheduler's first-block premium.
+//
+//	go run ./examples/clusterstairs
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"gpusimpow/internal/experiments"
+)
+
+func main() {
+	r, err := experiments.Fig4()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("GT240 power vs. time while launching 1..12 thread blocks")
+	fmt.Printf("(sampled at %.1f kHz by the virtual DAQ; idle %.1f W)\n\n",
+		r.Trace.SampleHz/1000, r.IdleW)
+
+	// Render a coarse ASCII waveform: one row per 10 ms.
+	step := int(r.Trace.SampleHz * 0.010)
+	maxW := r.IdleW
+	for _, s := range r.Trace.Samples {
+		if s > maxW {
+			maxW = s
+		}
+	}
+	for i := 0; i+step <= len(r.Trace.Samples); i += step {
+		var avg float64
+		for _, s := range r.Trace.Samples[i : i+step] {
+			avg += s
+		}
+		avg /= float64(step)
+		width := int(60 * (avg - r.IdleW*0.95) / (maxW - r.IdleW*0.95))
+		if width < 0 {
+			width = 0
+		}
+		fmt.Printf("%6.0f ms %6.2f W |%s\n", r.Trace.TimeOf(i)*1000, avg, strings.Repeat("#", width))
+	}
+
+	fmt.Println()
+	for i, p := range r.PowerPerBlocks {
+		fmt.Printf("%2d blocks: %6.2f W\n", i+1, p)
+	}
+	fmt.Printf("\nfirst block premium: %.2f W; cluster step %.3f W; core step %.3f W\n",
+		r.FirstBlockDeltaW, r.ClusterStepW, r.CoreStepW)
+	fmt.Printf("cluster activation cost: %.3f W (paper measured 0.692 W)\n",
+		r.ClusterStepW-r.CoreStepW)
+}

@@ -1,0 +1,54 @@
+// Powerprofile: the Section V-B use case — break a kernel's power down to
+// individual hardware components, on both evaluated GPUs, for every
+// benchmark named on the command line (default: BlackScholes, as in the
+// paper's Table V).
+//
+//	go run ./examples/powerprofile [benchmark...]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gpusimpow/internal/bench"
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/core"
+)
+
+func main() {
+	names := os.Args[1:]
+	if len(names) == 0 {
+		names = []string{"BlackScholes"}
+	}
+	for _, gpu := range []func() *config.GPU{config.GT240, config.GTX580} {
+		cfg := gpu()
+		simr, err := core.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range names {
+			f, err := bench.ByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			inst, err := f.Make()
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range inst.Runs {
+				rep, err := simr.RunKernel(r.Launch, inst.Mem, r.CMem)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := rep.WriteProfile(os.Stdout); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println()
+			}
+			if err := inst.Verify(); err != nil {
+				log.Fatalf("%s on %s: %v", name, cfg.Name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Quickstart: simulate one kernel on a GT240 and print its power.
+//
+// This is the smallest end-to-end use of GPUSimPow: build a kernel with the
+// SIMT assembler, launch it on a preset architecture, and read performance
+// and power results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/core"
+	"gpusimpow/internal/kernel"
+)
+
+func main() {
+	// 1. Write a kernel: out[i] = a[i] * a[i] (one thread per element).
+	b := kernel.NewBuilder("square", 10).Params(3)
+	b.SReg(0, kernel.SpecTidX)
+	b.SReg(1, kernel.SpecCtaX)
+	b.SReg(2, kernel.SpecNTidX)
+	b.IMad(0, kernel.R(1), kernel.R(2), kernel.R(0)) // global id
+	b.LdParam(3, 2)
+	b.ISet(4, kernel.CmpGE, kernel.R(0), kernel.R(3))
+	b.When(4).Exit()
+	b.LdParam(5, 0)
+	b.IShl(6, kernel.R(0), kernel.I(2))
+	b.IAdd(5, kernel.R(5), kernel.R(6))
+	b.Ld(kernel.SpaceGlobal, 7, kernel.R(5), 0)
+	b.FMul(7, kernel.R(7), kernel.R(7))
+	b.LdParam(8, 1)
+	b.IAdd(8, kernel.R(8), kernel.R(6))
+	b.St(kernel.SpaceGlobal, kernel.R(8), kernel.R(7), 0)
+	b.Exit()
+	prog := b.MustBuild()
+
+	// 2. Host side: allocate and fill device memory.
+	const n = 4096
+	mem := kernel.NewGlobalMem()
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = float32(i) * 0.25
+	}
+	inAddr := mem.AllocF32(in)
+	outAddr := mem.AllocZeroF32(n)
+
+	// 3. Launch on a simulated GT240.
+	simr, err := core.New(config.GT240())
+	if err != nil {
+		log.Fatal(err)
+	}
+	launch := &kernel.Launch{
+		Prog:   prog,
+		Grid:   kernel.Dim{X: n / 128, Y: 1},
+		Block:  kernel.Dim{X: 128, Y: 1},
+		Params: []uint32{inAddr, outAddr, n},
+	}
+	rep, err := simr.RunKernel(launch, mem, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Results: performance, power, and the actual data.
+	fmt.Printf("kernel %q: %d cycles (%.3g s), IPC %.2f\n",
+		rep.Kernel, rep.Perf.Activity.Cycles, rep.Perf.Seconds, rep.Perf.IPC)
+	fmt.Printf("power: %.2f W total (%.2f static + %.2f dynamic), DRAM %.2f W\n",
+		rep.Power.TotalW, rep.Power.StaticW, rep.Power.DynamicW, rep.Power.DRAMW)
+	out := mem.ReadF32Slice(outAddr, 4)
+	fmt.Printf("out[0..3] = %v (want [0 0.0625 0.25 0.5625])\n", out)
+}

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"testing"
+
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/kernel"
+	"gpusimpow/internal/sim"
+)
+
+// runFunctional executes an instance's launches through the functional
+// interpreter (no timing) and verifies the result.
+func runFunctional(t *testing.T, inst *Instance) *kernel.InterpStats {
+	t.Helper()
+	total := &kernel.InterpStats{}
+	for _, r := range inst.Runs {
+		st, err := kernel.Interp(r.Launch, inst.Mem, cmemOf(r))
+		if err != nil {
+			t.Fatalf("%s / %s: %v", inst.Name, r.Name, err)
+		}
+		total.WarpInstrs += st.WarpInstrs
+		total.ThreadInstrs += st.ThreadInstrs
+		total.Divergences += st.Divergences
+		total.Barriers += st.Barriers
+		for i := range total.PerClass {
+			total.PerClass[i] += st.PerClass[i]
+		}
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatalf("%s: verification failed: %v", inst.Name, err)
+	}
+	return total
+}
+
+func cmemOf(r Run) *kernel.ConstMem {
+	if r.CMem != nil {
+		return r.CMem
+	}
+	return nil
+}
+
+func TestAllBenchmarksFunctionallyCorrect(t *testing.T) {
+	for _, f := range Suite() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			inst, err := f.Make()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := runFunctional(t, inst)
+			if st.WarpInstrs == 0 {
+				t.Error("no instructions executed")
+			}
+		})
+	}
+}
+
+func TestSuiteMatchesTableI(t *testing.T) {
+	// Table I: 11 benchmarks; Fig. 6 additionally shows needle.
+	suite := Suite()
+	if len(suite) != 12 {
+		t.Fatalf("suite has %d benchmarks, want 12 (Table I + needle)", len(suite))
+	}
+	wantKernels := map[string]int{
+		"backprop": 2, "heartwall": 1, "kmeans": 2, "pathfinder": 1,
+		"bfs": 2, "hotspot": 1, "matrixMul": 1, "BlackScholes": 1,
+		"mergeSort": 4, "scalarProd": 1, "vectorAdd": 1, "needle": 2,
+	}
+	totalKernels := 0
+	for _, f := range suite {
+		if want, ok := wantKernels[f.Name]; !ok || f.Kernels != want {
+			t.Errorf("%s: %d kernels, want %d", f.Name, f.Kernels, wantKernels[f.Name])
+		}
+		totalKernels += f.Kernels
+	}
+	if totalKernels != 19 {
+		t.Errorf("total distinct kernels %d, want 19 (Fig. 6 bars)", totalKernels)
+	}
+	// Every factory produces instances whose run names match its kernels.
+	for _, f := range suite {
+		inst, err := f.Make()
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		names := map[string]bool{}
+		for _, r := range inst.Runs {
+			names[r.Name] = true
+			if err := r.Launch.Validate(); err != nil {
+				t.Errorf("%s / %s: invalid launch: %v", f.Name, r.Name, err)
+			}
+		}
+		if len(names) != f.Kernels {
+			t.Errorf("%s: %d distinct kernel names, factory claims %d", f.Name, len(names), f.Kernels)
+		}
+	}
+}
+
+func TestBenchmarksFreshPerInstance(t *testing.T) {
+	// Two instances must be independent: running one never affects the other.
+	a1, err := VectorAdd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := VectorAdd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFunctional(t, a1)
+	// a2 not yet run: its output must still verify as unwritten -> fails.
+	if err := a2.Verify(); err == nil {
+		t.Error("unrun instance unexpectedly verifies (shared state?)")
+	}
+	runFunctional(t, a2)
+}
+
+func TestWorkloadCharacteristicsSpan(t *testing.T) {
+	// The paper stresses that the benchmarks cover "an equally wide variety
+	// of algorithmic (and thus, dynamic power) characteristics". Check a few
+	// distinguishing features.
+	get := func(name string) *kernel.InterpStats {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := f.Make()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runFunctional(t, inst)
+	}
+	bs := get("BlackScholes")
+	if bs.PerClass[kernel.ClassSFU] == 0 {
+		t.Error("BlackScholes must exercise the SFUs")
+	}
+	bfs := get("bfs")
+	if bfs.Divergences == 0 {
+		t.Error("bfs must diverge")
+	}
+	mm := get("matrixMul")
+	if mm.Barriers == 0 {
+		t.Error("matrixMul must synchronise at barriers")
+	}
+	va := get("vectorAdd")
+	memRatioVA := float64(va.PerClass[kernel.ClassMem]) / float64(va.WarpInstrs)
+	memRatioBS := float64(bs.PerClass[kernel.ClassMem]) / float64(bs.WarpInstrs)
+	if memRatioVA <= memRatioBS {
+		t.Error("vectorAdd should be markedly more memory-bound than BlackScholes")
+	}
+}
+
+func TestMergeSortInPlaceKernelMarked(t *testing.T) {
+	inst, err := MergeSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range inst.Runs {
+		if r.Name == "mergeSort3" && r.MaxRepeats != 1 {
+			t.Error("mergeSort3 must be marked non-repeatable (paper's measurement artifact)")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	f, err := ByName("hotspot")
+	if err != nil || f.Name != "hotspot" {
+		t.Errorf("ByName(hotspot) = %v, %v", f.Name, err)
+	}
+}
+
+// TestBenchmarksOnTimingSimulator runs two representative benchmarks through
+// the full cycle-level simulator on the GT240 to check that timing-mode
+// execution also produces correct results.
+func TestBenchmarksOnTimingSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulation in -short mode")
+	}
+	for _, name := range []string{"vectorAdd", "mergeSort", "bfs"} {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := f.Make()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := sim.New(config.GT240())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range inst.Runs {
+			if _, err := g.Run(r.Launch, inst.Mem, cmemOf(r)); err != nil {
+				t.Fatalf("%s / %s: %v", name, r.Name, err)
+			}
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("%s (timing sim): %v", name, err)
+		}
+	}
+}

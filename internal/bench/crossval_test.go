@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/kernel"
+	"gpusimpow/internal/sim"
+)
+
+// TestInterpreterAndTimingSimulatorAgree runs every benchmark through both
+// the functional interpreter and the cycle-level simulator and checks that
+// the dynamic instruction streams agree exactly: same per-class warp
+// instruction counts, same lane-weighted totals, same final memory. Timing
+// must never change semantics.
+func TestInterpreterAndTimingSimulatorAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross-validation in -short mode")
+	}
+	for _, f := range Suite() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			// Functional pass.
+			fi, err := f.Make()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fInt, fFP, fSFU, fMem, fThreads uint64
+			for _, r := range fi.Runs {
+				st, err := kernel.Interp(r.Launch, fi.Mem, cmemOf(r))
+				if err != nil {
+					t.Fatal(err)
+				}
+				fInt += st.PerClass[kernel.ClassInt]
+				fFP += st.PerClass[kernel.ClassFP]
+				fSFU += st.PerClass[kernel.ClassSFU]
+				fMem += st.PerClass[kernel.ClassMem]
+				fThreads += st.ThreadInstrs
+			}
+			if err := fi.Verify(); err != nil {
+				t.Fatalf("functional: %v", err)
+			}
+
+			// Timing pass on a fresh instance.
+			ti, err := f.Make()
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := sim.New(config.GT240())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sInt, sFP, sSFU, sMem uint64
+			for _, r := range ti.Runs {
+				res, err := g.Run(r.Launch, ti.Mem, cmemOf(r))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sInt += res.Activity.IntWarpInstrs
+				sFP += res.Activity.FPWarpInstrs
+				sSFU += res.Activity.SFUWarpInstrs
+				sMem += res.Activity.MemWarpInstrs
+			}
+			if err := ti.Verify(); err != nil {
+				t.Fatalf("timing: %v", err)
+			}
+
+			if sInt != fInt || sFP != fFP || sSFU != fSFU || sMem != fMem {
+				t.Errorf("instruction streams diverge: timing INT/FP/SFU/MEM = %d/%d/%d/%d, functional = %d/%d/%d/%d",
+					sInt, sFP, sSFU, sMem, fInt, fFP, fSFU, fMem)
+			}
+		})
+	}
+}

@@ -1,0 +1,231 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpusimpow/internal/tech"
+)
+
+var t40 = tech.MustNode(40)
+
+func TestArrayBasic(t *testing.T) {
+	b, err := Array(t40, ArraySpec{Entries: 1024, BitsPerEntry: 256, ReadPorts: 1, WritePorts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AreaMM2 <= 0 || b.LeakageW <= 0 || b.ReadEnergyJ <= 0 || b.WriteEnergyJ <= 0 {
+		t.Fatalf("all budget fields must be positive: %+v", b)
+	}
+	if b.WriteEnergyJ <= b.ReadEnergyJ {
+		t.Errorf("full-swing write (%.3e) should cost more than reduced-swing read (%.3e)", b.WriteEnergyJ, b.ReadEnergyJ)
+	}
+}
+
+func TestArrayErrors(t *testing.T) {
+	if _, err := Array(t40, ArraySpec{Entries: 0, BitsPerEntry: 8}); err == nil {
+		t.Error("zero entries should error")
+	}
+	if _, err := Array(t40, ArraySpec{Entries: 8, BitsPerEntry: 0}); err == nil {
+		t.Error("zero width should error")
+	}
+	if _, err := Array(t40, ArraySpec{Entries: -1, BitsPerEntry: -1}); err == nil {
+		t.Error("negative spec should error")
+	}
+}
+
+func TestArrayScalesWithSize(t *testing.T) {
+	small, _ := Array(t40, ArraySpec{Entries: 256, BitsPerEntry: 128, ReadPorts: 1, WritePorts: 1})
+	big, _ := Array(t40, ArraySpec{Entries: 4096, BitsPerEntry: 128, ReadPorts: 1, WritePorts: 1})
+	if big.AreaMM2 <= small.AreaMM2 || big.LeakageW <= small.LeakageW {
+		t.Error("bigger array must have more area and leakage")
+	}
+	if big.ReadEnergyJ <= small.ReadEnergyJ {
+		t.Error("bigger array must cost more energy per access")
+	}
+}
+
+func TestArrayBankingReducesAccessEnergy(t *testing.T) {
+	mono, _ := Array(t40, ArraySpec{Entries: 16384, BitsPerEntry: 128, ReadPorts: 1, WritePorts: 1, Banks: 1})
+	banked, _ := Array(t40, ArraySpec{Entries: 16384, BitsPerEntry: 128, ReadPorts: 1, WritePorts: 1, Banks: 16})
+	if banked.ReadEnergyJ >= mono.ReadEnergyJ {
+		t.Errorf("banking should cut per-access energy: banked %.3e >= mono %.3e", banked.ReadEnergyJ, mono.ReadEnergyJ)
+	}
+	if banked.LeakageW < mono.LeakageW {
+		t.Error("banking should not reduce total leakage")
+	}
+}
+
+func TestArrayPortsCostArea(t *testing.T) {
+	sp, _ := Array(t40, ArraySpec{Entries: 512, BitsPerEntry: 64, ReadPorts: 1, WritePorts: 1})
+	mp, _ := Array(t40, ArraySpec{Entries: 512, BitsPerEntry: 64, ReadPorts: 4, WritePorts: 2})
+	if mp.AreaMM2 <= sp.AreaMM2 {
+		t.Error("multi-ported array must be larger")
+	}
+}
+
+func TestArrayTechnologyScaling(t *testing.T) {
+	t90 := tech.MustNode(90)
+	spec := ArraySpec{Entries: 1024, BitsPerEntry: 256, ReadPorts: 1, WritePorts: 1}
+	old, _ := Array(t90, spec)
+	new_, _ := Array(t40, spec)
+	if new_.AreaMM2 >= old.AreaMM2 {
+		t.Error("smaller node must yield smaller array")
+	}
+	if new_.ReadEnergyJ >= old.ReadEnergyJ {
+		t.Error("smaller node must yield lower access energy")
+	}
+}
+
+func TestArrayEnergyPlausibleRange(t *testing.T) {
+	// A 64KB register file bank structure should cost picojoules per access
+	// at 40nm, not femto or nano joules.
+	b, _ := Array(t40, ArraySpec{Entries: 1024, BitsPerEntry: 512, ReadPorts: 1, WritePorts: 1})
+	if b.ReadEnergyJ < 0.5e-12 || b.ReadEnergyJ > 200e-12 {
+		t.Errorf("read energy %.3e J outside plausible [0.5, 200] pJ", b.ReadEnergyJ)
+	}
+}
+
+func TestCAM(t *testing.T) {
+	b, err := CAM(t40, CAMSpec{Entries: 48, TagBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ReadEnergyJ <= 0 || b.WriteEnergyJ <= 0 || b.AreaMM2 <= 0 || b.LeakageW <= 0 {
+		t.Fatalf("CAM budget must be positive: %+v", b)
+	}
+	// A search touches all entries; it should cost more than a single write.
+	if b.ReadEnergyJ <= b.WriteEnergyJ {
+		t.Error("CAM search should cost more than single-entry write")
+	}
+	if _, err := CAM(t40, CAMSpec{}); err == nil {
+		t.Error("empty CAM should error")
+	}
+}
+
+func TestFFBank(t *testing.T) {
+	b, err := FFBank(t40, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AreaMM2 <= 0 || b.LeakageW <= 0 || b.ReadEnergyJ <= 0 || b.WriteEnergyJ <= b.ReadEnergyJ {
+		t.Fatalf("FF bank budget implausible: %+v", b)
+	}
+	if _, err := FFBank(t40, 0); err == nil {
+		t.Error("zero bits should error")
+	}
+	small, _ := FFBank(t40, 128)
+	if small.LeakageW >= b.LeakageW {
+		t.Error("leakage must grow with bit count")
+	}
+}
+
+func TestCrossbar(t *testing.T) {
+	b, err := Crossbar(t40, CrossbarSpec{Inputs: 16, Outputs: 8, WidthBits: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ReadEnergyJ <= 0 || b.AreaMM2 <= 0 {
+		t.Fatalf("crossbar budget implausible: %+v", b)
+	}
+	if b.ReadEnergyJ != b.WriteEnergyJ {
+		t.Error("crossbar transfers are symmetric")
+	}
+	if _, err := Crossbar(t40, CrossbarSpec{}); err == nil {
+		t.Error("empty crossbar should error")
+	}
+	wider, _ := Crossbar(t40, CrossbarSpec{Inputs: 16, Outputs: 8, WidthBits: 256})
+	if wider.ReadEnergyJ <= b.ReadEnergyJ {
+		t.Error("wider crossbar transfer must cost more")
+	}
+}
+
+func TestPriorityEncoder(t *testing.T) {
+	b24, err := PriorityEncoder(t40, PriorityEncoderSpec{Width: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b48, _ := PriorityEncoder(t40, PriorityEncoderSpec{Width: 48})
+	if b48.ReadEnergyJ <= b24.ReadEnergyJ {
+		t.Error("wider arbiter must cost more per arbitration")
+	}
+	if _, err := PriorityEncoder(t40, PriorityEncoderSpec{}); err == nil {
+		t.Error("zero-width encoder should error")
+	}
+}
+
+func TestLogic(t *testing.T) {
+	b, err := Logic(t40, LogicSpec{Gates: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ReadEnergyJ <= 0 || b.AreaMM2 <= 0 || b.LeakageW <= 0 {
+		t.Fatalf("logic budget implausible: %+v", b)
+	}
+	hot, _ := Logic(t40, LogicSpec{Gates: 20000, ActivityFraction: 0.5})
+	if hot.ReadEnergyJ <= b.ReadEnergyJ {
+		t.Error("higher activity fraction must cost more per op")
+	}
+	if _, err := Logic(t40, LogicSpec{}); err == nil {
+		t.Error("zero gates should error")
+	}
+}
+
+func TestClockTree(t *testing.T) {
+	b := ClockTree(t40, 10)
+	if b.ReadEnergyJ <= 0 {
+		t.Error("clock tree cycle energy must be positive")
+	}
+	if ClockTree(t40, 0) != (Budget{}) {
+		t.Error("zero area clock tree must be empty")
+	}
+	big := ClockTree(t40, 100)
+	if big.ReadEnergyJ <= b.ReadEnergyJ {
+		t.Error("clocking more area must cost more")
+	}
+}
+
+func TestWireEnergy(t *testing.T) {
+	if WireEnergy(t40, 0, 32) != 0 || WireEnergy(t40, 1, 0) != 0 {
+		t.Error("degenerate wire must cost nothing")
+	}
+	e1 := WireEnergy(t40, 1, 32)
+	e2 := WireEnergy(t40, 2, 32)
+	if e2 <= e1 {
+		t.Error("longer wire must cost more")
+	}
+}
+
+func TestBudgetAddScale(t *testing.T) {
+	a := Budget{1, 2, 3, 4}
+	b := Budget{10, 20, 30, 40}
+	a.Add(b)
+	if a != (Budget{11, 22, 33, 44}) {
+		t.Errorf("Add wrong: %+v", a)
+	}
+	if a.Scale(2) != (Budget{22, 44, 66, 88}) {
+		t.Errorf("Scale wrong: %+v", a.Scale(2))
+	}
+}
+
+func TestArrayPropertyQuick(t *testing.T) {
+	// Property: any valid array spec produces strictly positive budgets and
+	// write >= read energy.
+	f := func(e uint8, w uint16, rp, wp, banks uint8) bool {
+		spec := ArraySpec{
+			Entries:      int(e%200) + 1,
+			BitsPerEntry: int(w%512) + 1,
+			ReadPorts:    int(rp % 4),
+			WritePorts:   int(wp % 4),
+			Banks:        int(banks%8) + 1,
+		}
+		b, err := Array(t40, spec)
+		if err != nil {
+			return false
+		}
+		return b.AreaMM2 > 0 && b.LeakageW > 0 && b.ReadEnergyJ > 0 && b.WriteEnergyJ >= b.ReadEnergyJ
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package config
+
+// GT240 returns the configuration of the NVIDIA GeForce GT240 (GT215 chip),
+// matching Table II of the paper: 12 cores in 4 clusters, 768 threads per
+// core, 8 fused INT/FP units per core, 550 MHz uncore with a 2.47x shader
+// clock, no scoreboard (blocking barrel issue), no L2 cache, 40 nm process.
+func GT240() *GPU {
+	return &GPU{
+		Name:      "GT240",
+		ProcessNM: 40,
+
+		CoreClockMHz:    1358.5, // 550 MHz x 2.47
+		UncoreClockMHz:  550,
+		MemDataRateGbps: 3.4,
+
+		Clusters:          4,
+		CoresPerCluster:   3,
+		WarpSize:          32,
+		MaxWarpsPerCore:   24,
+		MaxBlocksPerCore:  8,
+		MaxThreadsPerCore: 768,
+		RegsPerCore:       16384,
+		Schedulers:        1,
+		FUsPerCore:        8,
+		SFUsPerCore:       2,
+
+		HasScoreboard:     false,
+		ScoreboardEntries: 0,
+
+		ALULatency:  20,
+		SFULatency:  36,
+		SMemLatency: 26,
+
+		SharedMemPerCoreKB: 16,
+		SMemBanks:          16,
+		L1KB:               0, // Tesla-class: no L1 data cache
+		ConstCacheKB:       8,
+		ConstLineB:         64,
+
+		L2KB: 0, // Table II: no L2
+
+		MemChannels:     4, // 128-bit bus of x32 devices
+		DRAMBanks:       16,
+		DRAMRowBytes:    2048,
+		DRAMLatencyCore: 440,
+		DRAMTRCDNS:      12,
+		DRAMTRPNS:       12,
+
+		PCIeLanes: 16,
+
+		Power: PowerCal{
+			IntOpPJ: 40, // paper §III-D measurement
+			FPOpPJ:  75, // paper §III-D measurement
+			SFUOpPJ: 290,
+			AGUOpPJ: 6,
+
+			GlobalSchedW: 3.34,  // paper Fig. 4
+			ClusterBaseW: 0.692, // paper Fig. 4
+			CoreBaseDynW: 0.199, // paper Table V
+
+			UndiffCoreStaticW: 0.886, // paper Table V
+			UndiffCoreAreaMM2: 3.1,
+			UncoreStaticW:     1.20, // PLLs, IO, display engine
+			UncoreAreaMM2:     43,
+			NoCStaticW:        1.40, // McPAT NoC anchor, paper Table V ballpark
+			MCStaticW:         0.45,
+			PCIeIdleW:         0.53,
+			PCIeActiveW:       0.99,
+			PCIeDynPerKBJ:     45e-9,
+			NoCFlitPJ:         420,  // 32B flit across ~5mm of global wire
+			MCRequestPJ:       3800, // controller + PHY energy per 128B request
+			DecodePJ:          9,
+			FPUAreaMM2:        0.035, // Galal & Horowitz, scaled to 40nm
+			SFUAreaMM2:        0.22,  // De Caro et al., scaled
+			SFUStaticWPerUnit: 0.004,
+
+			TempCelsius:        70,
+			LeakageTempFactor:  4.0, // hot-silicon leakage vs. nominal tables
+			DynScaleFactor:     1.0,
+			IdleGatingFraction: 0.10,
+		},
+	}
+}
+
+// GTX580 returns the configuration of the NVIDIA GeForce GTX580 (GF110,
+// Fermi), matching Table II: 16 cores, 1536 threads per core, 32 FUs per
+// core, 882 MHz uncore with 2x shader clock, scoreboarded issue, 768 KB L2,
+// 40 nm process.
+func GTX580() *GPU {
+	return &GPU{
+		Name:      "GTX580",
+		ProcessNM: 40,
+
+		CoreClockMHz:    1764, // 882 MHz x 2
+		UncoreClockMHz:  882,
+		MemDataRateGbps: 4.008,
+
+		Clusters:          4,
+		CoresPerCluster:   4,
+		WarpSize:          32,
+		MaxWarpsPerCore:   48,
+		MaxBlocksPerCore:  8,
+		MaxThreadsPerCore: 1536,
+		RegsPerCore:       32768,
+		Schedulers:        2,
+		FUsPerCore:        32,
+		SFUsPerCore:       4,
+
+		HasScoreboard:     true,
+		ScoreboardEntries: 6,
+
+		ALULatency:  18,
+		SFULatency:  32,
+		SMemLatency: 24,
+
+		SharedMemPerCoreKB: 48,
+		SMemBanks:          32,
+		L1KB:               16,
+		L1LineB:            128,
+		L1Assoc:            4,
+		ConstCacheKB:       8,
+		ConstLineB:         64,
+
+		L2KB:    768,
+		L2LineB: 128,
+		L2Assoc: 16,
+
+		MemChannels:     12, // 384-bit bus of x32 devices
+		DRAMBanks:       16,
+		DRAMRowBytes:    2048,
+		DRAMLatencyCore: 520,
+		DRAMTRCDNS:      12,
+		DRAMTRPNS:       12,
+
+		PCIeLanes: 16,
+
+		Power: PowerCal{
+			IntOpPJ: 40,
+			FPOpPJ:  75,
+			SFUOpPJ: 290,
+			AGUOpPJ: 6,
+
+			// Fermi's GigaThread engine and clusters are larger and clocked
+			// higher; scaled from the GT240 anchors by area and V^2*f.
+			GlobalSchedW: 6.4,
+			ClusterBaseW: 1.9,
+			CoreBaseDynW: 0.62,
+
+			UndiffCoreStaticW: 3.05,
+			UndiffCoreAreaMM2: 9.5,
+			UncoreStaticW:     9.0, // PLLs, IO, display engine (GF110-scale)
+			UncoreAreaMM2:     85,
+			NoCStaticW:        5.6,
+			MCStaticW:         2.1,
+			PCIeIdleW:         0.9,
+			PCIeActiveW:       0.99,
+			PCIeDynPerKBJ:     45e-9,
+			NoCFlitPJ:         480,
+			MCRequestPJ:       4200,
+			DecodePJ:          9,
+			FPUAreaMM2:        0.035,
+			SFUAreaMM2:        0.22,
+			SFUStaticWPerUnit: 0.004,
+
+			TempCelsius:        78,
+			LeakageTempFactor:  5.0, // Fermi runs hotter; leakage scaled accordingly
+			DynScaleFactor:     1.0,
+			IdleGatingFraction: 0.10,
+		},
+	}
+}
+
+// Presets returns all built-in configurations keyed by name.
+func Presets() map[string]func() *GPU {
+	return map[string]func() *GPU{
+		"GT240":  GT240,
+		"GTX580": GTX580,
+	}
+}

@@ -1,0 +1,100 @@
+// Package core is the GPUSimPow framework: it couples the cycle-accurate
+// performance simulator (internal/sim, the GPGPU-Sim analog) with the
+// GPGPU-Pow power model (internal/power, the McPAT-derived analog) exactly
+// as Figure 1 of the paper shows:
+//
+//	GPU configuration + GPGPU kernel
+//	        |
+//	        v
+//	  GPGPU simulator  --activity-->  power model  -->  power & area results
+//
+// Given a configuration and a kernel, it produces architectural information
+// (static power, peak dynamic power, area) and runtime dynamic power for the
+// kernel, including hierarchical power profiles (paper Section V-B).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/kernel"
+	"gpusimpow/internal/power"
+	"gpusimpow/internal/sim"
+)
+
+// Simulator is a configured GPUSimPow instance.
+type Simulator struct {
+	cfg  *config.GPU
+	perf *sim.GPU
+	pow  *power.Model
+}
+
+// New builds a GPUSimPow instance for the configuration.
+func New(cfg *config.GPU) (*Simulator, error) {
+	perf, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pow, err := power.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg, perf: perf, pow: pow}, nil
+}
+
+// Config returns the simulated configuration.
+func (s *Simulator) Config() *config.GPU { return s.cfg }
+
+// Static returns the workload-independent architectural estimates: area,
+// leakage power, peak dynamic power (paper Table IV).
+func (s *Simulator) Static() *power.StaticReport { return s.pow.Static() }
+
+// KernelReport bundles the performance and power results of one launch.
+type KernelReport struct {
+	Kernel string
+	Perf   *sim.Result
+	Power  *power.RuntimeReport
+}
+
+// RunKernel simulates one kernel launch and evaluates its power. The global
+// memory image is updated in place, so subsequent kernels of a multi-kernel
+// benchmark see preceding results, as on real hardware.
+func (s *Simulator) RunKernel(l *kernel.Launch, global *kernel.GlobalMem, cmem *kernel.ConstMem) (*KernelReport, error) {
+	res, err := s.perf.Run(l, global, cmem)
+	if err != nil {
+		return nil, fmt.Errorf("core: simulating %s: %w", l.Prog.Name, err)
+	}
+	rt, err := s.pow.Runtime(res)
+	if err != nil {
+		return nil, fmt.Errorf("core: power for %s: %w", l.Prog.Name, err)
+	}
+	return &KernelReport{Kernel: l.Prog.Name, Perf: res, Power: rt}, nil
+}
+
+// WriteProfile prints the hierarchical power profile of a kernel in the
+// shape of the paper's Table V: GPU-level components, then one core.
+func (r *KernelReport) WriteProfile(w io.Writer) error {
+	p := r.Power
+	total := p.TotalW
+	if _, err := fmt.Fprintf(w, "Power profile: %s on %s (runtime %.3g s)\n",
+		r.Kernel, p.GPUName, p.Seconds); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-22s %10s %11s %8s\n", "GPU", "Static [W]", "Dynamic [W]", "Percent")
+	fmt.Fprintf(w, "%-22s %10.3f %11.3f %7.1f%%\n", "Overall", p.StaticW, p.DynamicW, 100.0)
+	for _, it := range p.GPU {
+		fmt.Fprintf(w, "%-22s %10.3f %11.3f %7.1f%%\n", it.Name, it.StaticW, it.DynamicW, 100*it.Total()/total)
+	}
+	var coreTotal float64
+	for _, it := range p.Core {
+		coreTotal += it.Total()
+	}
+	fmt.Fprintf(w, "%-22s %10s %11s %8s\n", "Core", "Static [W]", "Dynamic [W]", "Percent")
+	for _, it := range p.Core {
+		fmt.Fprintf(w, "%-22s %10.4f %11.4f %7.1f%%\n", it.Name, it.StaticW, it.DynamicW, 100*it.Total()/coreTotal)
+	}
+	fmt.Fprintf(w, "External DRAM: %.3f W (background %.2f, activate %.2f, r/w %.2f, term %.2f, refresh %.2f)\n",
+		p.DRAMW, p.DRAM.Background, p.DRAM.Activate, p.DRAM.ReadWrite, p.DRAM.Termination, p.DRAM.Refresh)
+	return nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpusimpow/internal/bench"
+	"gpusimpow/internal/config"
+)
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := config.GT240()
+	cfg.Clusters = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid config must be rejected")
+	}
+	cfg2 := config.GT240()
+	cfg2.ProcessNM = 3 // sim accepts it, power tier must reject
+	if _, err := New(cfg2); err == nil {
+		t.Error("unsupported process node must be rejected")
+	}
+}
+
+func TestRunKernelEndToEnd(t *testing.T) {
+	simr, err := New(config.GT240())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simr.Config().Name != "GT240" {
+		t.Error("config accessor broken")
+	}
+	inst, err := bench.VectorAdd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := inst.Runs[0]
+	rep, err := simr.RunKernel(r.Launch, inst.Mem, r.CMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatalf("functional results wrong through the framework: %v", err)
+	}
+	if rep.Kernel != "vectorAdd" {
+		t.Errorf("kernel name %q", rep.Kernel)
+	}
+	if rep.Perf == nil || rep.Power == nil {
+		t.Fatal("incomplete report")
+	}
+	if rep.Power.TotalW <= rep.Power.StaticW {
+		t.Error("running a kernel must add dynamic power")
+	}
+}
+
+func TestStaticConsistentWithRuntime(t *testing.T) {
+	simr, err := New(config.GTX580())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := simr.Static()
+	inst, err := bench.ScalarProd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := simr.RunKernel(inst.Runs[0].Launch, inst.Mem, inst.Runs[0].CMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Power.StaticW != st.StaticW {
+		t.Errorf("static %.3f at runtime vs %.3f architectural", rep.Power.StaticW, st.StaticW)
+	}
+	if rep.Power.DynamicW > st.PeakDynamicW {
+		t.Errorf("runtime dynamic %.2f exceeds peak %.2f", rep.Power.DynamicW, st.PeakDynamicW)
+	}
+}
+
+func TestWriteProfileFormat(t *testing.T) {
+	simr, err := New(config.GT240())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := bench.BlackScholes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := simr.RunKernel(inst.Runs[0].Launch, inst.Mem, inst.Runs[0].CMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The profile must carry the Table V row names.
+	for _, want := range []string{"Overall", "Cores", "NoC", "Memory Controller",
+		"PCIe Controller", "Base Power", "WCU", "Register File",
+		"Execution Units", "LDSTU", "Undiff. Core", "External DRAM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile missing %q", want)
+		}
+	}
+}
+
+func TestMultiKernelBenchmarkStateFlow(t *testing.T) {
+	// bfs needs the state left by earlier launches: the framework must not
+	// reset memory between kernels.
+	simr, err := New(config.GT240())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := bench.BFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range inst.Runs {
+		if _, err := simr.RunKernel(r.Launch, inst.Mem, r.CMem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatalf("bfs through the framework: %v", err)
+	}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/core"
+	"gpusimpow/internal/kernel"
+)
+
+// ---------------------------------------------------------------------------
+// E10: design-choice ablations — the kind of architectural what-if studies
+// the paper positions GPUSimPow for ("architects can evaluate design choices
+// early from a power perspective").
+// ---------------------------------------------------------------------------
+
+// AblationRow is one configuration variant's outcome on a fixed workload.
+type AblationRow struct {
+	Variant  string
+	Cycles   uint64
+	TotalW   float64
+	DynamicW float64
+	StaticW  float64
+	EnergyMJ float64 // kernel energy in millijoules
+	EDPnJs   float64 // energy-delay product (mJ * ms)
+}
+
+// ablationKernel is a medium-intensity mixed kernel (FP work + strided
+// global traffic) used for all variants.
+func ablationKernel(cfg *config.GPU) (*kernel.Launch, *kernel.GlobalMem) {
+	b := kernel.NewBuilder("ablation", 12).Params(2)
+	b.SReg(0, kernel.SpecTidX)
+	b.SReg(1, kernel.SpecCtaX)
+	b.SReg(2, kernel.SpecNTidX)
+	b.IMad(0, kernel.R(1), kernel.R(2), kernel.R(0))
+	b.LdParam(3, 0)
+	b.IShl(4, kernel.R(0), kernel.I(2))
+	b.IAdd(3, kernel.R(3), kernel.R(4))
+	b.Ld(kernel.SpaceGlobal, 5, kernel.R(3), 0)
+	b.MovI(6, 0)
+	b.Label("loop")
+	for i := 0; i < 4; i++ {
+		b.FFma(5, kernel.R(5), kernel.F(1.0003), kernel.F(0.25))
+	}
+	b.IAdd(6, kernel.R(6), kernel.I(1))
+	b.ISet(7, kernel.CmpLT, kernel.R(6), kernel.I(16))
+	b.When(7).Bra("loop", "store")
+	b.Label("store")
+	b.LdParam(8, 1)
+	b.IAdd(8, kernel.R(8), kernel.R(4))
+	b.St(kernel.SpaceGlobal, kernel.R(8), kernel.R(5), 0)
+	b.Exit()
+	prog := b.MustBuild()
+	mem := kernel.NewGlobalMem()
+	// Fixed total work so that core-count variants genuinely divide it.
+	const n = 12 * 4 * 256
+	_ = cfg
+	in := mem.AllocZeroF32(n)
+	out := mem.AllocZeroF32(n)
+	return &kernel.Launch{
+		Prog:   prog,
+		Grid:   kernel.Dim{X: n / 256, Y: 1},
+		Block:  kernel.Dim{X: 256, Y: 1},
+		Params: []uint32{in, out},
+	}, mem
+}
+
+func runVariant(name string, cfg *config.GPU) (AblationRow, error) {
+	simr, err := core.New(cfg)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	l, mem := ablationKernel(cfg)
+	rep, err := simr.RunKernel(l, mem, nil)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	p := rep.Power
+	row := AblationRow{
+		Variant:  name,
+		Cycles:   rep.Perf.Activity.Cycles,
+		TotalW:   p.TotalW,
+		DynamicW: p.DynamicW,
+		StaticW:  p.StaticW,
+		EnergyMJ: p.TotalW * p.Seconds * 1e3,
+	}
+	row.EDPnJs = row.EnergyMJ * p.Seconds * 1e3
+	return row, nil
+}
+
+// AblationScoreboard compares blocking barrel issue against scoreboarded
+// issue on an otherwise identical GT240-class core.
+func AblationScoreboard() ([]AblationRow, error) {
+	base := config.GT240()
+	sb := config.GT240()
+	sb.Name = "GT240+scoreboard"
+	sb.HasScoreboard = true
+	sb.ScoreboardEntries = 6
+	return runVariants([]namedCfg{{"blocking issue (GT240)", base}, {"scoreboarded issue", sb}})
+}
+
+// AblationL2 compares the GTX580 with and without its L2 cache on a
+// reuse-heavy workload (every block re-reads the same array — the access
+// pattern an L2 exists for).
+func AblationL2() ([]AblationRow, error) {
+	base := config.GTX580()
+	no := config.GTX580()
+	no.Name = "GTX580-noL2"
+	no.L2KB = 0
+	var rows []AblationRow
+	for _, v := range []namedCfg{{"768KB L2 (GTX580)", base}, {"no L2", no}} {
+		simr, err := core.New(v.cfg)
+		if err != nil {
+			return nil, err
+		}
+		l, mem := l2ReuseKernel(v.cfg)
+		rep, err := simr.RunKernel(l, mem, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: variant %s: %w", v.name, err)
+		}
+		p := rep.Power
+		row := AblationRow{
+			Variant: v.name, Cycles: rep.Perf.Activity.Cycles,
+			TotalW: p.TotalW, DynamicW: p.DynamicW, StaticW: p.StaticW,
+			EnergyMJ: p.TotalW * p.Seconds * 1e3,
+		}
+		row.EDPnJs = row.EnergyMJ * p.Seconds * 1e3
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// l2ReuseKernel: every block gathers pseudo-randomly from one shared array,
+// so an L2 captures cross-block reuse that DRAM otherwise pays for.
+func l2ReuseKernel(cfg *config.GPU) (*kernel.Launch, *kernel.GlobalMem) {
+	const n = 16384 // 64 KB working set: far beyond L1, comfortably in L2
+	b := kernel.NewBuilder("l2reuse", 14).Params(2)
+	b.SReg(0, kernel.SpecTidX)
+	b.SReg(1, kernel.SpecCtaX)
+	b.LdParam(2, 0)
+	b.MovF(3, 0) // acc
+	b.MovI(4, 0) // i
+	b.Label("loop")
+	// idx = (tid*97 + i*389 + bid*31) % n  -- scattered but shared
+	b.IMul(5, kernel.R(0), kernel.I(97))
+	b.IMad(5, kernel.R(4), kernel.I(389), kernel.R(5))
+	b.IMad(5, kernel.R(1), kernel.I(31), kernel.R(5))
+	b.IAnd(5, kernel.R(5), kernel.I(n-1))
+	b.IShl(5, kernel.R(5), kernel.I(2))
+	b.IAdd(5, kernel.R(2), kernel.R(5))
+	b.Ld(kernel.SpaceGlobal, 6, kernel.R(5), 0)
+	b.FAdd(3, kernel.R(3), kernel.R(6))
+	b.IAdd(4, kernel.R(4), kernel.I(1))
+	b.ISet(7, kernel.CmpLT, kernel.R(4), kernel.I(16))
+	b.When(7).Bra("loop", "store")
+	b.Label("store")
+	b.LdParam(8, 1)
+	b.SReg(9, kernel.SpecNTidX)
+	b.IMad(9, kernel.R(1), kernel.R(9), kernel.R(0))
+	b.IShl(9, kernel.R(9), kernel.I(2))
+	b.IAdd(8, kernel.R(8), kernel.R(9))
+	b.St(kernel.SpaceGlobal, kernel.R(8), kernel.R(3), 0)
+	b.Exit()
+	prog := b.MustBuild()
+	mem := kernel.NewGlobalMem()
+	in := mem.AllocZeroF32(n)
+	blocks := cfg.NumCores() * 4
+	out := mem.AllocZeroF32(blocks * 256)
+	return &kernel.Launch{
+		Prog:   prog,
+		Grid:   kernel.Dim{X: blocks, Y: 1},
+		Block:  kernel.Dim{X: 256, Y: 1},
+		Params: []uint32{in, out},
+	}, mem
+}
+
+// AblationProcessNode sweeps the manufacturing node, the ITRS-style scaling
+// study McPAT integration enables.
+func AblationProcessNode() ([]AblationRow, error) {
+	var variants []namedCfg
+	for _, nm := range []float64{65, 45, 40, 32, 28} {
+		c := config.GT240()
+		c.Name = fmt.Sprintf("GT240@%.0fnm", nm)
+		c.ProcessNM = nm
+		variants = append(variants, namedCfg{c.Name, c})
+	}
+	return runVariants(variants)
+}
+
+// AblationCoreCount scales the core count at constant cluster shape,
+// exercising the "coherently simulate an architecture with a varied number
+// of cores" claim of Section III-A.
+func AblationCoreCount() ([]AblationRow, error) {
+	var variants []namedCfg
+	for _, clusters := range []int{2, 4, 6, 8} {
+		c := config.GT240()
+		c.Name = fmt.Sprintf("GT240x%dclusters", clusters)
+		c.Clusters = clusters
+		variants = append(variants, namedCfg{fmt.Sprintf("%d cores (%d clusters)", c.NumCores(), clusters), c})
+	}
+	return runVariants(variants)
+}
+
+// AblationScheduler compares the warp scheduling policies the paper's
+// conclusion proposes evaluating "from a power perspective": rotating
+// priority (baseline), greedy-then-oldest, and two-level scheduling with a
+// narrow active set (and hence a narrower arbitration encoder).
+func AblationScheduler() ([]AblationRow, error) {
+	var variants []namedCfg
+	for _, pol := range []string{"rr", "gto", "twolevel"} {
+		c := config.GTX580()
+		c.Name = "GTX580-" + pol
+		c.SchedulerPolicy = pol
+		variants = append(variants, namedCfg{pol + " scheduler", c})
+	}
+	return runVariants(variants)
+}
+
+type namedCfg struct {
+	name string
+	cfg  *config.GPU
+}
+
+func runVariants(vs []namedCfg) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, len(vs))
+	for _, v := range vs {
+		row, err := runVariant(v.name, v.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: variant %s: %w", v.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

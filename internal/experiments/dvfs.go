@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/hw"
+)
+
+// ---------------------------------------------------------------------------
+// E11 (extension): DVFS energy study — the same clock-scaling mechanism the
+// static-power methodology uses (Section IV-B), swept across the supported
+// range to chart the energy/performance trade-off of frequency scaling on
+// the virtual card.
+// ---------------------------------------------------------------------------
+
+// DVFSPoint is one operating point of the sweep.
+type DVFSPoint struct {
+	ClockScale float64
+	// PowerW is the measured average power while the kernel runs.
+	PowerW float64
+	// KernelSeconds is one execution's duration at this clock.
+	KernelSeconds float64
+	// EnergyMJ is the energy of one kernel execution in millijoules.
+	EnergyMJ float64
+}
+
+// DVFSResult is the full sweep.
+type DVFSResult struct {
+	Points []DVFSPoint
+	// MinEnergyScale is the clock scale with the lowest kernel energy: with
+	// large static power, racing to idle usually wins, so this tends to sit
+	// at or near full clock.
+	MinEnergyScale float64
+}
+
+// DVFS measures a compute-bound kernel across clock scales on the virtual
+// GT240.
+func DVFS() (*DVFSResult, error) {
+	card, err := hw.NewCard(config.GT240())
+	if err != nil {
+		return nil, err
+	}
+	res := &DVFSResult{MinEnergyScale: 1}
+	best := 0.0
+	for _, s := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		if err := card.SetClockScale(s); err != nil {
+			return nil, err
+		}
+		l, mem := microFPBusy(card)
+		m, err := card.MeasureKernel(l, mem, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		pt := DVFSPoint{
+			ClockScale:    s,
+			PowerW:        m.AvgPowerW,
+			KernelSeconds: m.TrueKernelSeconds,
+			EnergyMJ:      m.AvgPowerW * m.TrueKernelSeconds * 1e3,
+		}
+		res.Points = append(res.Points, pt)
+		if best == 0 || pt.EnergyMJ < best {
+			best = pt.EnergyMJ
+			res.MinEnergyScale = s
+		}
+	}
+	return res, card.SetClockScale(1.0)
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpusimpow/internal/bench"
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/core"
+	"gpusimpow/internal/hw"
+)
+
+// Fig6Bar is one bar pair of Figure 6: one kernel's simulated and measured
+// total power, split into static and dynamic parts.
+type Fig6Bar struct {
+	Kernel string
+
+	SimStaticW   float64
+	SimDynamicW  float64
+	MeasStaticW  float64
+	MeasDynamicW float64
+
+	// RelErrPct is |sim - measured| / measured * 100 on total power.
+	RelErrPct float64
+	// ShortWindow marks kernels measured below the 50 ms reliability limit.
+	ShortWindow bool
+	// Executions is how many launches were aggregated (multi-launch kernels
+	// are averaged arithmetically, as in the paper).
+	Executions int
+}
+
+// SimTotalW returns the simulated total power.
+func (b Fig6Bar) SimTotalW() float64 { return b.SimStaticW + b.SimDynamicW }
+
+// MeasTotalW returns the measured total power.
+func (b Fig6Bar) MeasTotalW() float64 { return b.MeasStaticW + b.MeasDynamicW }
+
+// Fig6Result is one sub-figure (6a or 6b).
+type Fig6Result struct {
+	GPU  string
+	Bars []Fig6Bar
+	// AvgRelErrPct is the average of absolute relative errors ("when
+	// averaging errors, we always average the absolute value of errors").
+	AvgRelErrPct float64
+	// MaxRelErrPct / MaxErrKernel identify the worst kernel.
+	MaxRelErrPct float64
+	MaxErrKernel string
+	// DynAvgRelErrPct is the average relative error on dynamic power only
+	// (paper: 28.3 % GT240, 20.9 % GTX580).
+	DynAvgRelErrPct float64
+	// OverestimatedFraction is the share of kernels where the simulator
+	// overestimates (paper: nearly all).
+	OverestimatedFraction float64
+}
+
+// Fig6 runs the full validation of Figure 6 for the named GPU ("GT240" for
+// 6a, "GTX580" for 6b): every Table I + needle kernel is simulated with
+// GPUSimPow and measured on the virtual card, and per-kernel relative errors
+// are aggregated.
+func Fig6(gpuName string) (*Fig6Result, error) {
+	mk, ok := config.Presets()[gpuName]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown GPU %q", gpuName)
+	}
+	cfg := mk()
+	simr, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	card, err := hw.NewCard(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Measured static power, estimated once per card with the methodology
+	// available for it (paper Section IV-B / V-A).
+	measStatic, err := measuredStaticFor(card)
+	if err != nil {
+		return nil, err
+	}
+	simStatic := simr.Static().StaticW
+
+	type agg struct {
+		simTotal, measTotal float64
+		n                   int
+		short               bool
+	}
+	perKernel := map[string]*agg{}
+	var order []string
+
+	for _, f := range bench.Suite() {
+		// Simulator side.
+		simInst, err := f.Make()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", f.Name, err)
+		}
+		for _, r := range simInst.Runs {
+			rep, err := simr.RunKernel(r.Launch, simInst.Mem, r.CMem)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: simulating %s/%s: %w", f.Name, r.Name, err)
+			}
+			a := perKernel[r.Name]
+			if a == nil {
+				a = &agg{}
+				perKernel[r.Name] = a
+				order = append(order, r.Name)
+			}
+			a.simTotal += rep.Power.TotalW + rep.Power.DRAMW
+			a.n++
+		}
+		if err := simInst.Verify(); err != nil {
+			return nil, fmt.Errorf("experiments: %s failed verification on the simulator: %w", f.Name, err)
+		}
+
+		// Hardware side: a fresh instance measured kernel by kernel.
+		hwInst, err := f.Make()
+		if err != nil {
+			return nil, err
+		}
+		items := make([]hw.SeqItem, len(hwInst.Runs))
+		for i, r := range hwInst.Runs {
+			items[i] = hw.SeqItem{Launch: r.Launch, Mem: hwInst.Mem, CMem: r.CMem, GapS: 0.01}
+			if r.MaxRepeats > 0 {
+				items[i].Repeats = r.MaxRepeats
+			} else {
+				items[i].MinWindowS = measureWindowS
+			}
+		}
+		_, ms, err := card.MeasureSequence(items)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: measuring %s: %w", f.Name, err)
+		}
+		for i, m := range ms {
+			a := perKernel[hwInst.Runs[i].Name]
+			a.measTotal += m.AvgPowerW
+			if m.ShortWindow && hwInst.Runs[i].MaxRepeats > 0 {
+				a.short = true
+			}
+		}
+	}
+
+	res := &Fig6Result{GPU: gpuName}
+	sort.Strings(order)
+	var sumErr, sumDynErr float64
+	over := 0
+	for _, name := range order {
+		a := perKernel[name]
+		simTotal := a.simTotal / float64(a.n)
+		measTotal := a.measTotal / float64(a.n)
+		bar := Fig6Bar{
+			Kernel:       name,
+			SimStaticW:   simStatic,
+			SimDynamicW:  simTotal - simStatic,
+			MeasStaticW:  measStatic,
+			MeasDynamicW: measTotal - measStatic,
+			ShortWindow:  a.short,
+			Executions:   a.n,
+		}
+		bar.RelErrPct = 100 * math.Abs(simTotal-measTotal) / measTotal
+		res.Bars = append(res.Bars, bar)
+		sumErr += bar.RelErrPct
+		if bar.RelErrPct > res.MaxRelErrPct {
+			res.MaxRelErrPct = bar.RelErrPct
+			res.MaxErrKernel = name
+		}
+		if bar.MeasDynamicW > 0 {
+			sumDynErr += 100 * math.Abs(bar.SimDynamicW-bar.MeasDynamicW) / bar.MeasDynamicW
+		}
+		if simTotal > measTotal {
+			over++
+		}
+	}
+	n := float64(len(res.Bars))
+	res.AvgRelErrPct = sumErr / n
+	res.DynAvgRelErrPct = sumDynErr / n
+	res.OverestimatedFraction = float64(over) / n
+	return res, nil
+}
+
+// measuredStaticFor applies the per-card static estimation methodology:
+// frequency extrapolation on cards that support downclocking (GT240-class),
+// the idle-ratio transfer method otherwise (GTX580-class, whose Linux driver
+// "does not yet support changing the clock speed").
+func measuredStaticFor(card *hw.Card) (float64, error) {
+	if card.Name() != "GTX580" {
+		return EstimateStaticByFrequency(card)
+	}
+	ref, err := hw.NewCard(config.GT240())
+	if err != nil {
+		return 0, err
+	}
+	refStatic, err := EstimateStaticByFrequency(ref)
+	if err != nil {
+		return 0, err
+	}
+	ratio := refStatic / (ref.PrePostKernelPowerW() + ref.DRAMIdleW())
+	return (card.PrePostKernelPowerW() + card.DRAMIdleW()) * ratio, nil
+}

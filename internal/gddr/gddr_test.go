@@ -1,0 +1,166 @@
+package gddr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdlePowerPlausible(t *testing.T) {
+	c := HynixGDDR5(4.0)
+	p := c.IdlePower()
+	// A GDDR5 device idles at a few hundred milliwatts.
+	if p < 0.05 || p > 1.0 {
+		t.Errorf("idle power %.3f W outside plausible [0.05, 1.0] W", p)
+	}
+}
+
+func TestPowerComponents(t *testing.T) {
+	c := HynixGDDR5(4.0)
+	b, err := c.Power(Activity{
+		Seconds:        1e-3,
+		Activates:      5000,
+		ReadBursts:     80000,
+		WriteBursts:    20000,
+		ActiveFraction: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Background <= 0 || b.Activate <= 0 || b.ReadWrite <= 0 || b.Termination <= 0 || b.Refresh <= 0 {
+		t.Fatalf("all components should be positive under traffic: %+v", b)
+	}
+	if b.Total() <= c.IdlePower() {
+		t.Error("loaded device must consume more than idle")
+	}
+	// A heavily-read GDDR5 device draws several watts.
+	if b.Total() < 0.5 || b.Total() > 10 {
+		t.Errorf("busy power %.2f W outside plausible [0.5, 10] W", b.Total())
+	}
+}
+
+func TestPowerErrors(t *testing.T) {
+	c := HynixGDDR5(4.0)
+	if _, err := c.Power(Activity{Seconds: 0}); err == nil {
+		t.Error("zero interval should error")
+	}
+	if _, err := c.Power(Activity{Seconds: -1}); err == nil {
+		t.Error("negative interval should error")
+	}
+}
+
+func TestActiveFractionClamped(t *testing.T) {
+	c := HynixGDDR5(4.0)
+	lo, _ := c.Power(Activity{Seconds: 1, ActiveFraction: -5})
+	hi, _ := c.Power(Activity{Seconds: 1, ActiveFraction: 5})
+	expLo := c.VDD * c.IDD2N
+	expHi := c.VDD * c.IDD3N
+	if math.Abs(lo.Background-expLo) > 1e-9 {
+		t.Errorf("clamped-low background %.4f != %.4f", lo.Background, expLo)
+	}
+	if math.Abs(hi.Background-expHi) > 1e-9 {
+		t.Errorf("clamped-high background %.4f != %.4f", hi.Background, expHi)
+	}
+}
+
+func TestReadCostsMoreThanWrite(t *testing.T) {
+	c := HynixGDDR5(4.0)
+	r, _ := c.Power(Activity{Seconds: 1e-3, ReadBursts: 50000})
+	w, _ := c.Power(Activity{Seconds: 1e-3, WriteBursts: 50000})
+	if r.ReadWrite <= w.ReadWrite {
+		t.Error("IDD4R > IDD4W implies reads cost more than writes")
+	}
+}
+
+func TestPowerScalesWithTraffic(t *testing.T) {
+	c := HynixGDDR5(3.4)
+	base, _ := c.Power(Activity{Seconds: 1e-3, ReadBursts: 10000, Activates: 1000})
+	dbl, _ := c.Power(Activity{Seconds: 1e-3, ReadBursts: 20000, Activates: 2000})
+	if dbl.Activate <= base.Activate || dbl.ReadWrite <= base.ReadWrite {
+		t.Error("power must scale with command counts")
+	}
+	if math.Abs(dbl.Activate/base.Activate-2) > 1e-9 {
+		t.Error("activate power should be linear in ACT count")
+	}
+}
+
+func TestDataRateAffectsBurstDuration(t *testing.T) {
+	slow := HynixGDDR5(3.4)
+	fast := HynixGDDR5(4.0)
+	if fast.BurstSeconds >= slow.BurstSeconds {
+		t.Error("higher data rate must shorten bursts")
+	}
+}
+
+func TestDefaultDataRate(t *testing.T) {
+	c := HynixGDDR5(0)
+	if c.BurstSeconds <= 0 {
+		t.Error("default data rate should produce valid burst duration")
+	}
+}
+
+func TestTerminationSaturates(t *testing.T) {
+	c := HynixGDDR5(4.0)
+	// Absurd burst counts: termination must not exceed pins * mW.
+	b, _ := c.Power(Activity{Seconds: 1e-9, ReadBursts: 1 << 40})
+	maxTerm := float64(c.DataPins) * c.TerminationMWPerPin / 1000
+	if b.Termination > maxTerm+1e-12 {
+		t.Errorf("termination %.4f exceeds physical cap %.4f", b.Termination, maxTerm)
+	}
+}
+
+func TestPowerQuickProperties(t *testing.T) {
+	c := HynixGDDR5(4.0)
+	f := func(acts, rds, wrs uint16, afRaw uint8) bool {
+		a := Activity{
+			Seconds:        1e-3,
+			Activates:      uint64(acts),
+			ReadBursts:     uint64(rds),
+			WriteBursts:    uint64(wrs),
+			ActiveFraction: float64(afRaw) / 255,
+		}
+		b, err := c.Power(a)
+		if err != nil {
+			return false
+		}
+		// Non-negative components and total at least idle background.
+		return b.Background > 0 && b.Activate >= 0 && b.ReadWrite >= 0 &&
+			b.Termination >= 0 && b.Refresh >= 0 && b.Total() >= c.VDD*c.IDD2N
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDDR3Chip(t *testing.T) {
+	d := DDR3(1.6)
+	g := HynixGDDR5(4.0)
+	if d.IdlePower() >= g.IdlePower() {
+		t.Error("a DDR3 device idles well below a GDDR5 device")
+	}
+	if d.DataPins != 16 {
+		t.Errorf("DDR3 width %d, want x16", d.DataPins)
+	}
+	b, err := d.Power(Activity{Seconds: 1e-3, Activates: 1000, ReadBursts: 20000, ActiveFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() <= d.IdlePower() {
+		t.Error("busy DDR3 must beat idle")
+	}
+	if DDR3(0).BurstSeconds <= 0 {
+		t.Error("default data rate broken")
+	}
+}
+
+func TestForType(t *testing.T) {
+	if c, err := ForType("", 4.0); err != nil || c.DataPins != 32 {
+		t.Error("empty type should default to GDDR5")
+	}
+	if c, err := ForType("ddr3", 1.6); err != nil || c.DataPins != 16 {
+		t.Error("ddr3 type broken")
+	}
+	if _, err := ForType("hbm17", 1); err == nil {
+		t.Error("unknown type should error")
+	}
+}

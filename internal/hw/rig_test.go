@@ -1,0 +1,99 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChainRailSplit(t *testing.T) {
+	// GT240-class: slot only; GTX580-class: slot + external cables (the
+	// paper inserted 10 mOhm resistors into the PCIe power cables for it).
+	small := newChain(newRNG(1), false)
+	big := newChain(newRNG(2), true)
+	if len(small.rails) != 2 {
+		t.Errorf("slot-powered card: %d rails, want 2", len(small.rails))
+	}
+	if len(big.rails) != 4 {
+		t.Errorf("externally-powered card: %d rails, want 4", len(big.rails))
+	}
+	for _, c := range []*chain{small, big} {
+		var share float64
+		for _, r := range c.rails {
+			share += r.share
+		}
+		if math.Abs(share-1) > 1e-9 {
+			t.Errorf("rail shares sum to %v, want 1", share)
+		}
+	}
+}
+
+func TestChainErrorWithinSpec(t *testing.T) {
+	// Averaged over many samples, the chain's systematic error must stay
+	// within the paper's +/-3.2 % budget for a realistic power level.
+	c := newChain(newRNG(99), false)
+	const trueW = 35.0
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += c.measure(trueW)
+	}
+	avg := sum / n
+	if rel := math.Abs(avg-trueW) / trueW; rel > c.worstCaseErrorFraction() {
+		t.Errorf("chain systematic error %.2f%% beyond the 3.2%% budget", 100*rel)
+	}
+}
+
+func TestChainGainErrorsBounded(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		c := newChain(newRNG(seed), seed%2 == 0)
+		for _, r := range c.rails {
+			if math.Abs(r.voltageGainErr) > 0.017 {
+				t.Fatalf("voltage gain error %v beyond ±1.7%%", r.voltageGainErr)
+			}
+			if math.Abs(r.currentGainErr) > 0.015 {
+				t.Fatalf("current gain error %v beyond ±1.5%%", r.currentGainErr)
+			}
+			if math.Abs(r.offsetW) > 0.060 {
+				t.Fatalf("offset %v beyond ±60 mW", r.offsetW)
+			}
+		}
+	}
+}
+
+func TestWaveformRCStepResponse(t *testing.T) {
+	// The supply capacitance must produce a first-order rise: after one
+	// time constant the waveform reaches ~63% of a power step.
+	card, err := newTestCard(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long kernel: the plateau must be reached well within the window.
+	l, mem := testBusyLaunch(12)
+	tr, ms, err := card.MeasureSequence([]SeqItem{{Launch: l, Mem: mem, MinWindowS: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := int(tr.Marks[0][0] * tr.SampleHz)
+	idle := tr.Samples[start-10]
+	plateau := ms[0].AvgPowerW
+	// Sample one time constant in: ~63% of the step.
+	tauSamples := int(card.capTauS * tr.SampleHz)
+	atTau := tr.Samples[start+tauSamples]
+	frac := (atTau - idle) / (plateau - idle)
+	if frac < 0.45 || frac > 0.8 {
+		t.Errorf("step response at tau = %.2f of step, want ~0.63", frac)
+	}
+	// Deep into the window the waveform must sit at the plateau.
+	end := int(tr.Marks[0][1]*tr.SampleHz) - 5
+	late := tr.Samples[end]
+	if math.Abs(late-plateau)/plateau > 0.05 {
+		t.Errorf("late sample %.2f far from plateau %.2f", late, plateau)
+	}
+}
+
+// helpers shared with hw_test.go
+
+func newTestCard(t *testing.T) (*Card, error) {
+	t.Helper()
+	return NewCard(testGT240())
+}

@@ -1,0 +1,46 @@
+package hw
+
+// rng is a splitmix64 deterministic generator. The virtual hardware must be
+// perfectly reproducible (the same card always has the same silicon), so all
+// perturbations and noise derive from seeds, never from global randomness.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// seedFromString hashes a name (FNV-1a) into a seed.
+func seedFromString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// uniform returns a uniform value in [lo, hi).
+func (r *rng) uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.float()
+}
+
+// gauss returns an approximately normal sample with the given sigma
+// (Irwin-Hall sum of 12 uniforms).
+func (r *rng) gauss(sigma float64) float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += r.float()
+	}
+	return (s - 6) * sigma
+}

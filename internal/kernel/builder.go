@@ -1,0 +1,278 @@
+package kernel
+
+import "fmt"
+
+// Builder assembles a Program. Branch targets and reconvergence points are
+// expressed with named labels, resolved at Build time. Methods panic on
+// misuse (an assembler programming error, not a runtime condition); Build
+// returns an error for unresolved labels and validation failures.
+type Builder struct {
+	name      string
+	numRegs   int
+	numParams int
+	smemBytes int
+	instrs    []Instr
+	labels    map[string]int
+	fixups    []fixup
+	pred      int16
+	predNeg   bool
+}
+
+type fixup struct {
+	pc     int
+	target string // label for Target
+	reconv string // label for Reconv
+}
+
+// NewBuilder starts a program with the given name and per-thread register count.
+func NewBuilder(name string, numRegs int) *Builder {
+	return &Builder{name: name, numRegs: numRegs, labels: map[string]int{}, pred: NoPred}
+}
+
+// Params declares the number of 32-bit kernel parameters.
+func (b *Builder) Params(n int) *Builder { b.numParams = n; return b }
+
+// SMem declares the static shared-memory allocation per block in bytes.
+func (b *Builder) SMem(bytes int) *Builder { b.smemBytes = bytes; return b }
+
+// Label binds a name to the next instruction's PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("kernel %s: duplicate label %q", b.name, name))
+	}
+	b.labels[name] = len(b.instrs)
+}
+
+// When predicates the next emitted instruction on register p being non-zero.
+func (b *Builder) When(p int) *Builder { b.pred, b.predNeg = int16(p), false; return b }
+
+// Unless predicates the next emitted instruction on register p being zero.
+func (b *Builder) Unless(p int) *Builder { b.pred, b.predNeg = int16(p), true; return b }
+
+func (b *Builder) emit(in Instr) {
+	in.Pred, in.PredNeg = b.pred, b.predNeg
+	b.pred, b.predNeg = NoPred, false
+	b.instrs = append(b.instrs, in)
+}
+
+func (b *Builder) op3(op Op, d int, s ...Operand) {
+	in := Instr{Op: op, Dst: uint8(d), HasDst: true, NumSrc: len(s)}
+	if len(s) > 3 {
+		panic("kernel: more than 3 source operands")
+	}
+	copy(in.Src[:], s)
+	b.emit(in)
+}
+
+// --- Integer ---
+
+// Mov emits d = a.
+func (b *Builder) Mov(d int, a Operand) { b.op3(OpMov, d, a) }
+
+// MovI emits d = imm (32-bit integer immediate).
+func (b *Builder) MovI(d int, v int32) { b.op3(OpMov, d, I(v)) }
+
+// MovF emits d = imm (float32 immediate).
+func (b *Builder) MovF(d int, v float32) { b.op3(OpMov, d, F(v)) }
+
+// SReg emits d = special register.
+func (b *Builder) SReg(d int, s Special) { b.op3(OpMov, d, S(s)) }
+
+// IAdd emits d = a + b.
+func (b *Builder) IAdd(d int, a, s Operand) { b.op3(OpIAdd, d, a, s) }
+
+// ISub emits d = a - b.
+func (b *Builder) ISub(d int, a, s Operand) { b.op3(OpISub, d, a, s) }
+
+// IMul emits d = a * b (low 32 bits).
+func (b *Builder) IMul(d int, a, s Operand) { b.op3(OpIMul, d, a, s) }
+
+// IMad emits d = a*b + c.
+func (b *Builder) IMad(d int, a, s, c Operand) { b.op3(OpIMad, d, a, s, c) }
+
+// IMin emits d = min(a, b) (signed).
+func (b *Builder) IMin(d int, a, s Operand) { b.op3(OpIMin, d, a, s) }
+
+// IMax emits d = max(a, b) (signed).
+func (b *Builder) IMax(d int, a, s Operand) { b.op3(OpIMax, d, a, s) }
+
+// IAnd emits d = a & b.
+func (b *Builder) IAnd(d int, a, s Operand) { b.op3(OpIAnd, d, a, s) }
+
+// IOr emits d = a | b.
+func (b *Builder) IOr(d int, a, s Operand) { b.op3(OpIOr, d, a, s) }
+
+// IXor emits d = a ^ b.
+func (b *Builder) IXor(d int, a, s Operand) { b.op3(OpIXor, d, a, s) }
+
+// INot emits d = ^a.
+func (b *Builder) INot(d int, a Operand) { b.op3(OpINot, d, a) }
+
+// IShl emits d = a << (b & 31).
+func (b *Builder) IShl(d int, a, s Operand) { b.op3(OpIShl, d, a, s) }
+
+// IShr emits d = a >> (b & 31), logical.
+func (b *Builder) IShr(d int, a, s Operand) { b.op3(OpIShr, d, a, s) }
+
+// ISra emits d = a >> (b & 31), arithmetic.
+func (b *Builder) ISra(d int, a, s Operand) { b.op3(OpISra, d, a, s) }
+
+// ISet emits d = (a cmp b) ? 1 : 0 with signed comparison.
+func (b *Builder) ISet(d int, cmp Cmp, a, s Operand) {
+	in := Instr{Op: OpISet, Dst: uint8(d), HasDst: true, NumSrc: 2, Cmp: cmp}
+	in.Src[0], in.Src[1] = a, s
+	b.emit(in)
+}
+
+// ISel emits d = (a != 0) ? x : y.
+func (b *Builder) ISel(d int, a, x, y Operand) { b.op3(OpISel, d, a, x, y) }
+
+// --- Floating point ---
+
+// FAdd emits d = a + b.
+func (b *Builder) FAdd(d int, a, s Operand) { b.op3(OpFAdd, d, a, s) }
+
+// FSub emits d = a - b.
+func (b *Builder) FSub(d int, a, s Operand) { b.op3(OpFSub, d, a, s) }
+
+// FMul emits d = a * b.
+func (b *Builder) FMul(d int, a, s Operand) { b.op3(OpFMul, d, a, s) }
+
+// FFma emits d = a*b + c.
+func (b *Builder) FFma(d int, a, s, c Operand) { b.op3(OpFFma, d, a, s, c) }
+
+// FMin emits d = min(a, b).
+func (b *Builder) FMin(d int, a, s Operand) { b.op3(OpFMin, d, a, s) }
+
+// FMax emits d = max(a, b).
+func (b *Builder) FMax(d int, a, s Operand) { b.op3(OpFMax, d, a, s) }
+
+// FNeg emits d = -a.
+func (b *Builder) FNeg(d int, a Operand) { b.op3(OpFNeg, d, a) }
+
+// FAbs emits d = |a|.
+func (b *Builder) FAbs(d int, a Operand) { b.op3(OpFAbs, d, a) }
+
+// FSet emits d = (a cmp b) ? 1 : 0 with float comparison.
+func (b *Builder) FSet(d int, cmp Cmp, a, s Operand) {
+	in := Instr{Op: OpFSet, Dst: uint8(d), HasDst: true, NumSrc: 2, Cmp: cmp}
+	in.Src[0], in.Src[1] = a, s
+	b.emit(in)
+}
+
+// I2F emits d = float32(int32(a)).
+func (b *Builder) I2F(d int, a Operand) { b.op3(OpI2F, d, a) }
+
+// F2I emits d = int32(trunc(float32(a))).
+func (b *Builder) F2I(d int, a Operand) { b.op3(OpF2I, d, a) }
+
+// --- SFU ---
+
+// Rcp emits d = 1/a.
+func (b *Builder) Rcp(d int, a Operand) { b.op3(OpRcp, d, a) }
+
+// Rsq emits d = 1/sqrt(a).
+func (b *Builder) Rsq(d int, a Operand) { b.op3(OpRsq, d, a) }
+
+// Sqrt emits d = sqrt(a).
+func (b *Builder) Sqrt(d int, a Operand) { b.op3(OpSqrt, d, a) }
+
+// Sin emits d = sin(a).
+func (b *Builder) Sin(d int, a Operand) { b.op3(OpSin, d, a) }
+
+// Cos emits d = cos(a).
+func (b *Builder) Cos(d int, a Operand) { b.op3(OpCos, d, a) }
+
+// Ex2 emits d = 2^a.
+func (b *Builder) Ex2(d int, a Operand) { b.op3(OpEx2, d, a) }
+
+// Lg2 emits d = log2(a).
+func (b *Builder) Lg2(d int, a Operand) { b.op3(OpLg2, d, a) }
+
+// --- Memory ---
+
+// Ld emits d = space[addrReg + offset].
+func (b *Builder) Ld(space Space, d int, addr Operand, offset int32) {
+	in := Instr{Op: OpLd, Dst: uint8(d), HasDst: true, NumSrc: 1, Space: space, Offset: offset}
+	in.Src[0] = addr
+	b.emit(in)
+}
+
+// St emits space[addrReg + offset] = val.
+func (b *Builder) St(space Space, addr Operand, val Operand, offset int32) {
+	in := Instr{Op: OpSt, NumSrc: 2, Space: space, Offset: offset}
+	in.Src[0], in.Src[1] = addr, val
+	b.emit(in)
+}
+
+// LdParam emits d = params[idx] (serviced by the constant cache).
+func (b *Builder) LdParam(d int, idx int) {
+	b.Ld(SpaceParam, d, U(uint32(idx*4)), 0)
+}
+
+// AtomAdd emits d = global[addr+offset]; global[addr+offset] += val, atomically.
+func (b *Builder) AtomAdd(d int, addr, val Operand, offset int32) {
+	in := Instr{Op: OpAtomAdd, Dst: uint8(d), HasDst: true, NumSrc: 2, Space: SpaceGlobal, Offset: offset}
+	in.Src[0], in.Src[1] = addr, val
+	b.emit(in)
+}
+
+// --- Control ---
+
+// Bra emits a branch: lanes whose pending predicate evaluates true jump to
+// `target`; the reconvergence point is `reconv` (the immediate post-dominator
+// of the branch). Use When/Unless before Bra to set the condition; an
+// unconditional Bra takes all lanes.
+func (b *Builder) Bra(target, reconv string) {
+	b.fixups = append(b.fixups, fixup{pc: len(b.instrs), target: target, reconv: reconv})
+	b.emit(Instr{Op: OpBra})
+}
+
+// BraUni emits an unconditional branch whose reconvergence point equals its
+// target (no divergence possible).
+func (b *Builder) BraUni(target string) { b.Bra(target, target) }
+
+// Bar emits a block-wide barrier.
+func (b *Builder) Bar() { b.emit(Instr{Op: OpBar}) }
+
+// Exit emits thread termination.
+func (b *Builder) Exit() { b.emit(Instr{Op: OpExit}) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(Instr{Op: OpNop}) }
+
+// Build resolves labels and validates the program.
+func (b *Builder) Build() (*Program, error) {
+	for _, f := range b.fixups {
+		t, ok := b.labels[f.target]
+		if !ok {
+			return nil, fmt.Errorf("kernel %s: undefined label %q", b.name, f.target)
+		}
+		r, ok := b.labels[f.reconv]
+		if !ok {
+			return nil, fmt.Errorf("kernel %s: undefined reconvergence label %q", b.name, f.reconv)
+		}
+		b.instrs[f.pc].Target = t
+		b.instrs[f.pc].Reconv = r
+	}
+	p := &Program{
+		Name:      b.name,
+		Instrs:    b.instrs,
+		NumRegs:   b.numRegs,
+		SMemBytes: b.smemBytes,
+		NumParams: b.numParams,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build but panics on error, for statically-known-good kernels.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

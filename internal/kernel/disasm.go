@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders an operand in assembly syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindReg:
+		return fmt.Sprintf("r%d", o.Reg)
+	case KindImm:
+		// Heuristic display: small magnitudes as signed ints, otherwise hex.
+		if v := int32(o.Imm); v > -65536 && v < 65536 {
+			return fmt.Sprintf("%d", v)
+		}
+		return fmt.Sprintf("0x%08x", o.Imm)
+	case KindSpecial:
+		return "%" + o.Special.String()
+	}
+	return "?"
+}
+
+// String names a special register.
+func (s Special) String() string {
+	switch s {
+	case SpecTidX:
+		return "tid.x"
+	case SpecTidY:
+		return "tid.y"
+	case SpecNTidX:
+		return "ntid.x"
+	case SpecNTidY:
+		return "ntid.y"
+	case SpecCtaX:
+		return "ctaid.x"
+	case SpecCtaY:
+		return "ctaid.y"
+	case SpecNCtaX:
+		return "nctaid.x"
+	case SpecNCtaY:
+		return "nctaid.y"
+	case SpecLane:
+		return "laneid"
+	case SpecWarpInBlock:
+		return "warpid"
+	}
+	return "sreg?"
+}
+
+// String disassembles one instruction.
+func (in Instr) String() string {
+	var sb strings.Builder
+	if in.Pred != NoPred {
+		if in.PredNeg {
+			sb.WriteString(fmt.Sprintf("@!r%d ", in.Pred))
+		} else {
+			sb.WriteString(fmt.Sprintf("@r%d ", in.Pred))
+		}
+	}
+	switch in.Op {
+	case OpBra:
+		fmt.Fprintf(&sb, "bra %d, reconv %d", in.Target, in.Reconv)
+	case OpBar, OpExit, OpNop:
+		sb.WriteString(in.Op.String())
+	case OpLd:
+		fmt.Fprintf(&sb, "ld.%s r%d, [%s%+d]", in.Space, in.Dst, in.Src[0], in.Offset)
+	case OpSt:
+		fmt.Fprintf(&sb, "st.%s [%s%+d], %s", in.Space, in.Src[0], in.Offset, in.Src[1])
+	case OpAtomAdd:
+		fmt.Fprintf(&sb, "atom.add.%s r%d, [%s%+d], %s", in.Space, in.Dst, in.Src[0], in.Offset, in.Src[1])
+	case OpISet, OpFSet:
+		fmt.Fprintf(&sb, "%s.%s r%d, %s, %s", in.Op, in.Cmp, in.Dst, in.Src[0], in.Src[1])
+	default:
+		sb.WriteString(in.Op.String())
+		if in.HasDst {
+			fmt.Fprintf(&sb, " r%d", in.Dst)
+		}
+		for i := 0; i < in.NumSrc; i++ {
+			if i == 0 && in.HasDst {
+				sb.WriteString(",")
+			} else if i > 0 {
+				sb.WriteString(",")
+			}
+			sb.WriteString(" " + in.Src[i].String())
+		}
+	}
+	return sb.String()
+}
+
+// Disassemble renders the whole program with PC labels, one instruction per
+// line — the debugging view of an assembled kernel.
+func (p *Program) Disassemble() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// kernel %s: %d instrs, %d regs, %d B smem, %d params\n",
+		p.Name, len(p.Instrs), p.NumRegs, p.SMemBytes, p.NumParams)
+	// Branch targets get labels.
+	targets := map[int]bool{}
+	for _, in := range p.Instrs {
+		if in.Op == OpBra {
+			targets[in.Target] = true
+			targets[in.Reconv] = true
+		}
+	}
+	for pc, in := range p.Instrs {
+		mark := "   "
+		if targets[pc] {
+			mark = "L: "
+		}
+		fmt.Fprintf(&sb, "%s%4d:  %s\n", mark, pc, in.String())
+	}
+	return sb.String()
+}

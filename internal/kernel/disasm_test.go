@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleProgram(t *testing.T) {
+	b := NewBuilder("demo", 8).Params(1)
+	b.SReg(0, SpecTidX)
+	b.MovI(1, 42)
+	b.IAdd(2, R(0), R(1))
+	b.ISet(3, CmpLT, R(2), I(100))
+	b.When(3).Bra("skip", "skip")
+	b.FMul(4, R(2), F(2.5))
+	b.Label("skip")
+	b.Ld(SpaceGlobal, 5, R(2), 8)
+	b.St(SpaceShared, R(2), R(5), -4)
+	b.AtomAdd(6, R(2), I(1), 0)
+	b.Bar()
+	b.Exit()
+	p := b.MustBuild()
+
+	asm := p.Disassemble()
+	for _, want := range []string{
+		"kernel demo",
+		"mov r0, %tid.x",
+		"mov r1, 42",
+		"iadd r2, r0, r1",
+		"iset.lt r3, r2, 100",
+		"@r3 bra",
+		"ld.global r5, [r2+8]",
+		"st.shared [r2-4], r5",
+		"atom.add.global r6, [r2+0], 1",
+		"bar.sync",
+		"exit",
+		"L: ",
+	} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("disassembly missing %q\n%s", want, asm)
+		}
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	cases := []struct {
+		op   Operand
+		want string
+	}{
+		{R(7), "r7"},
+		{I(-3), "-3"},
+		{I(100), "100"},
+		{U(0xDEADBEEF), "0xdeadbeef"},
+		{S(SpecCtaX), "%ctaid.x"},
+		{S(SpecLane), "%laneid"},
+		{Operand{}, "?"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("%+v: got %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestPredicatedNegatedDisasm(t *testing.T) {
+	b := NewBuilder("p", 4)
+	b.MovI(0, 1)
+	b.Unless(0).Exit()
+	b.Exit()
+	p := b.MustBuild()
+	if !strings.Contains(p.Disassemble(), "@!r0 exit") {
+		t.Errorf("negated predicate not rendered:\n%s", p.Disassemble())
+	}
+}
+
+func TestEveryBenchKernelDisassembles(t *testing.T) {
+	// Smoke: String must not panic for any op in a realistic program.
+	b := NewBuilder("all", 16).Params(1)
+	b.SReg(0, SpecTidY)
+	b.IMad(1, R(0), I(3), R(0))
+	b.IMin(2, R(1), I(7))
+	b.IMax(3, R(1), I(7))
+	b.IAnd(4, R(1), R(2))
+	b.IOr(5, R(3), R(4))
+	b.IXor(6, R(5), I(0xF))
+	b.INot(7, R(6))
+	b.IShl(8, R(7), I(2))
+	b.IShr(9, R(8), I(1))
+	b.ISra(10, R(9), I(1))
+	b.ISel(11, R(10), R(9), R(8))
+	b.I2F(12, R(11))
+	b.FSub(12, R(12), F(1))
+	b.FFma(12, R(12), F(2), F(3))
+	b.FMin(12, R(12), F(10))
+	b.FMax(12, R(12), F(-10))
+	b.FNeg(13, R(12))
+	b.FAbs(13, R(13))
+	b.FSet(14, CmpGE, R(13), F(0))
+	b.F2I(14, R(13))
+	b.Rcp(13, R(12))
+	b.Rsq(13, R(13))
+	b.Sqrt(13, R(13))
+	b.Sin(13, R(13))
+	b.Cos(13, R(13))
+	b.Ex2(13, R(13))
+	b.Lg2(13, R(13))
+	b.Nop()
+	b.Exit()
+	p := b.MustBuild()
+	asm := p.Disassemble()
+	if len(strings.Split(asm, "\n")) < 25 {
+		t.Error("disassembly suspiciously short")
+	}
+}

@@ -1,0 +1,250 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNestedDivergence(t *testing.T) {
+	// Two nested if/else levels: each lane takes one of four paths selected
+	// by its low two bits; out[tid] = 10*outer + inner.
+	b := NewBuilder("nested", 10).Params(1)
+	b.SReg(0, SpecTidX)
+	b.IAnd(1, R(0), I(1)) // inner selector
+	b.IAnd(2, R(0), I(2)) // outer selector
+	b.When(2).Bra("outer1", "join")
+	// outer == 0
+	b.MovI(3, 0)
+	b.When(1).Bra("o0i1", "innerjoin0")
+	b.MovI(4, 0)
+	b.BraUni("innerjoin0")
+	b.Label("o0i1")
+	b.MovI(4, 1)
+	b.Label("innerjoin0")
+	b.BraUni("join")
+	b.Label("outer1")
+	b.MovI(3, 1)
+	b.When(1).Bra("o1i1", "innerjoin1")
+	b.MovI(4, 0)
+	b.BraUni("innerjoin1")
+	b.Label("o1i1")
+	b.MovI(4, 1)
+	b.Label("innerjoin1")
+	b.Label("join")
+	b.IMul(5, R(3), I(10))
+	b.IAdd(5, R(5), R(4))
+	b.LdParam(6, 0)
+	b.IShl(7, R(0), I(2))
+	b.IAdd(6, R(6), R(7))
+	b.St(SpaceGlobal, R(6), R(5), 0)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewGlobalMem()
+	out := mem.Alloc(32 * 4)
+	l := &Launch{Prog: p, Grid: Dim{1, 1}, Block: Dim{32, 1}, Params: []uint32{out}}
+	st, err := Interp(l, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxStackDepth < 3 {
+		t.Errorf("nested divergence should deepen the stack, got %d", st.MaxStackDepth)
+	}
+	vals := mem.ReadI32Slice(out, 32)
+	for i, v := range vals {
+		inner := int32(i & 1)
+		outer := int32(0)
+		if i&2 != 0 {
+			outer = 1
+		}
+		if want := outer*10 + inner; v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestPredicatedStore(t *testing.T) {
+	// Only even lanes store; odd entries must keep their initial value.
+	b := NewBuilder("predst", 8).Params(1)
+	b.SReg(0, SpecTidX)
+	b.IAnd(1, R(0), I(1))
+	b.ISet(1, CmpEQ, R(1), I(0)) // even -> 1
+	b.LdParam(2, 0)
+	b.IShl(3, R(0), I(2))
+	b.IAdd(2, R(2), R(3))
+	b.MovI(4, 999)
+	b.When(1).St(SpaceGlobal, R(2), R(4), 0)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewGlobalMem()
+	init := make([]int32, 32)
+	for i := range init {
+		init[i] = -1
+	}
+	out := mem.AllocI32(init)
+	l := &Launch{Prog: p, Grid: Dim{1, 1}, Block: Dim{32, 1}, Params: []uint32{out}}
+	if _, err := Interp(l, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := mem.ReadI32Slice(out, 32)
+	for i, v := range got {
+		want := int32(-1)
+		if i%2 == 0 {
+			want = 999
+		}
+		if v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestTwoDimensionalGrid(t *testing.T) {
+	// 2D blocks and grids: out[gy*W + gx] = gy*1000 + gx using tid.y/ctaid.y.
+	const bx, by, gx, gy = 8, 4, 3, 2
+	const W = bx * gx
+	b := NewBuilder("grid2d", 12).Params(1)
+	b.SReg(0, SpecTidX)
+	b.SReg(1, SpecTidY)
+	b.SReg(2, SpecCtaX)
+	b.SReg(3, SpecCtaY)
+	// global x = ctaX*bx + tidX; global y = ctaY*by + tidY
+	b.IMad(4, R(2), I(bx), R(0))
+	b.IMad(5, R(3), I(by), R(1))
+	b.IMul(6, R(5), I(1000))
+	b.IAdd(6, R(6), R(4))
+	b.IMul(7, R(5), I(W))
+	b.IAdd(7, R(7), R(4))
+	b.IShl(7, R(7), I(2))
+	b.LdParam(8, 0)
+	b.IAdd(8, R(8), R(7))
+	b.St(SpaceGlobal, R(8), R(6), 0)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewGlobalMem()
+	out := mem.Alloc(W * by * gy * 4)
+	l := &Launch{Prog: p, Grid: Dim{gx, gy}, Block: Dim{bx, by}, Params: []uint32{out}}
+	if _, err := Interp(l, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < by*gy; y++ {
+		for x := 0; x < W; x++ {
+			got := int32(mem.Read32(out + uint32(4*(y*W+x))))
+			if want := int32(y*1000 + x); got != want {
+				t.Fatalf("out[%d][%d] = %d, want %d", y, x, got, want)
+			}
+		}
+	}
+}
+
+func TestFloatEdgeCases(t *testing.T) {
+	b := NewBuilder("fedge", 10).Params(1)
+	b.SReg(0, SpecLane)
+	// r1 = -0.0 through FNeg(0); FAbs must clear the sign.
+	b.MovF(1, 0)
+	b.FNeg(1, R(1))
+	b.FAbs(2, R(1))
+	// FMin/FMax with mixed signs.
+	b.FMin(3, F(-2), F(3))
+	b.FMax(4, F(-2), F(3))
+	// F2I truncation toward zero of negative value.
+	b.MovF(5, -2.75)
+	b.F2I(5, R(5))
+	b.LdParam(6, 0)
+	b.IShl(7, R(0), I(2))
+	b.IMul(7, R(7), I(4)) // each lane writes 4 slots apart
+	b.IAdd(6, R(6), R(7))
+	b.St(SpaceGlobal, R(6), R(2), 0)
+	b.St(SpaceGlobal, R(6), R(3), 4)
+	b.St(SpaceGlobal, R(6), R(4), 8)
+	b.St(SpaceGlobal, R(6), R(5), 12)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewGlobalMem()
+	out := mem.Alloc(32 * 16)
+	l := &Launch{Prog: p, Grid: Dim{1, 1}, Block: Dim{32, 1}, Params: []uint32{out}}
+	if _, err := Interp(l, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v := mem.ReadF32(out); v != 0 || math.Signbit(float64(v)) {
+		t.Errorf("|−0.0| = %v (signbit %v), want +0", v, math.Signbit(float64(v)))
+	}
+	if v := mem.ReadF32(out + 4); v != -2 {
+		t.Errorf("fmin(-2,3) = %v", v)
+	}
+	if v := mem.ReadF32(out + 8); v != 3 {
+		t.Errorf("fmax(-2,3) = %v", v)
+	}
+	if v := int32(mem.Read32(out + 12)); v != -2 {
+		t.Errorf("f2i(-2.75) = %d, want -2 (truncate toward zero)", v)
+	}
+}
+
+func TestIntOpsPropertyQuick(t *testing.T) {
+	// Property: IMad matches Go arithmetic for arbitrary inputs (wrapping).
+	b := NewBuilder("imadq", 8).Params(4)
+	b.LdParam(0, 0)
+	b.LdParam(1, 1)
+	b.LdParam(2, 2)
+	b.IMad(3, R(0), R(1), R(2))
+	b.LdParam(4, 3)
+	b.St(SpaceGlobal, R(4), R(3), 0)
+	b.Exit()
+	p := b.MustBuild()
+	f := func(x, y, z uint32) bool {
+		mem := NewGlobalMem()
+		out := mem.Alloc(4)
+		l := &Launch{Prog: p, Grid: Dim{1, 1}, Block: Dim{32, 1},
+			Params: []uint32{x, y, z, out}}
+		if _, err := Interp(l, mem, nil); err != nil {
+			return false
+		}
+		return mem.Read32(out) == x*y+z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarrierWithPartialWarpAndEarlyExit(t *testing.T) {
+	// 48 threads (1.5 warps): half the threads of warp 0 exit before the
+	// barrier; the rest must still synchronise and complete.
+	b := NewBuilder("barexit", 8).Params(1).SMem(256)
+	b.SReg(0, SpecTidX)
+	b.ISet(1, CmpLT, R(0), I(16))
+	b.When(1).Exit() // first 16 threads leave
+	b.IShl(2, R(0), I(2))
+	b.St(SpaceShared, R(2), R(0), 0)
+	b.Bar()
+	b.Ld(SpaceShared, 3, R(2), 0)
+	b.LdParam(4, 0)
+	b.IAdd(4, R(4), R(2))
+	b.St(SpaceGlobal, R(4), R(3), 0)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewGlobalMem()
+	out := mem.Alloc(64 * 4)
+	l := &Launch{Prog: p, Grid: Dim{1, 1}, Block: Dim{48, 1}, Params: []uint32{out}}
+	if _, err := Interp(l, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 16; i < 48; i++ {
+		if got := int32(mem.Read32(out + uint32(4*i))); got != int32(i) {
+			t.Fatalf("out[%d] = %d, want %d", i, got, i)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+)
+
+// buildVecAdd assembles c[i] = a[i] + b[i] with a bounds guard.
+// Params: 0=a, 1=b, 2=c, 3=n.
+func buildVecAdd(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("vecadd", 12).Params(4)
+	// r0 = tid.x + ctaid.x * ntid.x
+	b.SReg(0, SpecTidX)
+	b.SReg(1, SpecCtaX)
+	b.SReg(2, SpecNTidX)
+	b.IMad(0, R(1), R(2), R(0))
+	// guard: exit when r0 >= n
+	b.LdParam(3, 3)
+	b.ISet(4, CmpGE, R(0), R(3))
+	b.When(4).Exit()
+	// addresses
+	b.LdParam(5, 0)
+	b.LdParam(6, 1)
+	b.LdParam(7, 2)
+	b.IShl(8, R(0), I(2)) // byte offset
+	b.IAdd(5, R(5), R(8))
+	b.IAdd(6, R(6), R(8))
+	b.IAdd(7, R(7), R(8))
+	b.Ld(SpaceGlobal, 9, R(5), 0)
+	b.Ld(SpaceGlobal, 10, R(6), 0)
+	b.FAdd(11, R(9), R(10))
+	b.St(SpaceGlobal, R(7), R(11), 0)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestVecAddFunctional(t *testing.T) {
+	p := buildVecAdd(t)
+	const n = 1000 // not a multiple of 32 or block size: exercises guards
+	mem := NewGlobalMem()
+	av := make([]float32, n)
+	bv := make([]float32, n)
+	for i := range av {
+		av[i] = float32(i) * 0.5
+		bv[i] = float32(n - i)
+	}
+	aAddr := mem.AllocF32(av)
+	bAddr := mem.AllocF32(bv)
+	cAddr := mem.AllocZeroF32(n)
+
+	l := &Launch{
+		Prog:   p,
+		Grid:   Dim{X: (n + 127) / 128, Y: 1},
+		Block:  Dim{X: 128, Y: 1},
+		Params: []uint32{aAddr, bAddr, cAddr, n},
+	}
+	stats, err := Interp(l, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mem.ReadF32Slice(cAddr, n)
+	for i := range got {
+		want := av[i] + bv[i]
+		if got[i] != want {
+			t.Fatalf("c[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+	if stats.WarpInstrs == 0 || stats.ThreadInstrs == 0 {
+		t.Error("stats not collected")
+	}
+	if stats.Blocks != uint64(l.Grid.X) {
+		t.Errorf("blocks = %d, want %d", stats.Blocks, l.Grid.X)
+	}
+	// The guard exits lanes 1000..1023 early, so lane-weighted instruction
+	// counts must fall short of warpInstrs * warpSize.
+	if stats.ThreadInstrs >= stats.WarpInstrs*WarpSize {
+		t.Error("expected some lanes to be masked off by the bounds guard")
+	}
+}
+
+func TestDivergenceIfThenElse(t *testing.T) {
+	// Even lanes write 100, odd lanes write 200, then all write +1 to a
+	// second buffer — verifies both paths execute and reconvergence happens.
+	b := NewBuilder("diverge", 8).Params(2)
+	b.SReg(0, SpecTidX)
+	b.IAnd(1, R(0), I(1)) // r1 = tid & 1
+	b.LdParam(2, 0)
+	b.IShl(3, R(0), I(2))
+	b.IAdd(2, R(2), R(3)) // &out[tid]
+	b.When(1).Bra("odd", "join")
+	b.MovI(4, 100)
+	b.BraUni("join")
+	b.Label("odd")
+	b.MovI(4, 200)
+	b.Label("join")
+	b.St(SpaceGlobal, R(2), R(4), 0)
+	// After reconvergence all lanes store tid to buffer 2.
+	b.LdParam(5, 1)
+	b.IAdd(5, R(5), R(3))
+	b.St(SpaceGlobal, R(5), R(0), 0)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewGlobalMem()
+	o1 := mem.Alloc(32 * 4)
+	o2 := mem.Alloc(32 * 4)
+	l := &Launch{Prog: p, Grid: Dim{1, 1}, Block: Dim{32, 1}, Params: []uint32{o1, o2}}
+	stats, err := Interp(l, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Divergences != 1 {
+		t.Errorf("divergences = %d, want 1", stats.Divergences)
+	}
+	for i := 0; i < 32; i++ {
+		want := int32(100)
+		if i%2 == 1 {
+			want = 200
+		}
+		if got := mem.ReadI32Slice(o1+uint32(4*i), 1)[0]; got != want {
+			t.Errorf("out1[%d] = %d, want %d", i, got, want)
+		}
+		if got := mem.ReadI32Slice(o2+uint32(4*i), 1)[0]; got != int32(i) {
+			t.Errorf("out2[%d] = %d, want %d (reconvergence broken)", i, got, i)
+		}
+	}
+}
+
+func TestDivergentLoopTripCounts(t *testing.T) {
+	// Each lane loops tid+1 times, accumulating. out[tid] = tid+1.
+	b := NewBuilder("looptrip", 8).Params(1)
+	b.SReg(0, SpecTidX)
+	b.IAdd(1, R(0), I(1)) // bound
+	b.MovI(2, 0)          // counter
+	b.Label("loop")
+	b.IAdd(2, R(2), I(1))
+	b.ISet(3, CmpLT, R(2), R(1))
+	b.When(3).Bra("loop", "exit")
+	b.Label("exit")
+	b.LdParam(4, 0)
+	b.IShl(5, R(0), I(2))
+	b.IAdd(4, R(4), R(5))
+	b.St(SpaceGlobal, R(4), R(2), 0)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewGlobalMem()
+	out := mem.Alloc(32 * 4)
+	l := &Launch{Prog: p, Grid: Dim{1, 1}, Block: Dim{32, 1}, Params: []uint32{out}}
+	stats, err := Interp(l, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := mem.ReadI32Slice(out, 32)
+	for i, v := range vals {
+		if v != int32(i+1) {
+			t.Errorf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+	if stats.MaxStackDepth < 2 {
+		t.Error("divergent loop should deepen the reconvergence stack")
+	}
+	// With poppable tokens elided, a singly-nested divergent loop keeps the
+	// stack shallow regardless of trip counts.
+	if stats.MaxStackDepth > 4 {
+		t.Errorf("stack depth %d suspiciously deep (token leak?)", stats.MaxStackDepth)
+	}
+}
+
+func TestSharedMemoryAndBarrier(t *testing.T) {
+	// Block-wide reversal through shared memory: out[i] = in[blockDim-1-i].
+	const bs = 64
+	b := NewBuilder("smemrev", 10).Params(2).SMem(bs * 4)
+	b.SReg(0, SpecTidX)
+	b.LdParam(1, 0) // in
+	b.IShl(2, R(0), I(2))
+	b.IAdd(3, R(1), R(2))
+	b.Ld(SpaceGlobal, 4, R(3), 0)
+	b.St(SpaceShared, R(2), R(4), 0)
+	b.Bar()
+	// read shared[bs-1-tid]
+	b.MovI(5, bs-1)
+	b.ISub(5, R(5), R(0))
+	b.IShl(5, R(5), I(2))
+	b.Ld(SpaceShared, 6, R(5), 0)
+	b.LdParam(7, 1) // out
+	b.IAdd(7, R(7), R(2))
+	b.St(SpaceGlobal, R(7), R(6), 0)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewGlobalMem()
+	in := make([]int32, bs)
+	for i := range in {
+		in[i] = int32(i * 7)
+	}
+	inAddr := mem.AllocI32(in)
+	outAddr := mem.Alloc(bs * 4)
+	l := &Launch{Prog: p, Grid: Dim{1, 1}, Block: Dim{bs, 1}, Params: []uint32{inAddr, outAddr}}
+	stats, err := Interp(l, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Barriers == 0 {
+		t.Error("barrier should have been released at least once")
+	}
+	got := mem.ReadI32Slice(outAddr, bs)
+	for i := range got {
+		if got[i] != in[bs-1-i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], in[bs-1-i])
+		}
+	}
+}
+
+func TestFloatOpsAndSFU(t *testing.T) {
+	b := NewBuilder("fops", 12).Params(1)
+	b.SReg(0, SpecTidX)
+	b.I2F(1, R(0))                // f = tid
+	b.FAdd(1, R(1), F(1.0))       // f = tid+1
+	b.FMul(2, R(1), R(1))         // f^2
+	b.Sqrt(3, R(2))               // back to f
+	b.Rcp(4, R(3))                // 1/f
+	b.FFma(5, R(3), R(4), F(1.0)) // f*(1/f)+1 = 2
+	b.Sin(6, F(0))                // 0
+	b.FAdd(5, R(5), R(6))         // still 2
+	b.LdParam(7, 0)
+	b.IShl(8, R(0), I(2))
+	b.IAdd(7, R(7), R(8))
+	b.St(SpaceGlobal, R(7), R(5), 0)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewGlobalMem()
+	out := mem.Alloc(32 * 4)
+	l := &Launch{Prog: p, Grid: Dim{1, 1}, Block: Dim{32, 1}, Params: []uint32{out}}
+	stats, err := Interp(l, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := mem.ReadF32Slice(out, 32)
+	for i, v := range vals {
+		if math.Abs(float64(v)-2) > 1e-4 {
+			t.Errorf("out[%d] = %v, want ~2", i, v)
+		}
+	}
+	if stats.PerClass[ClassSFU] == 0 {
+		t.Error("SFU class instructions not counted")
+	}
+	if stats.PerClass[ClassFP] == 0 {
+		t.Error("FP class instructions not counted")
+	}
+}
+
+func TestAtomAdd(t *testing.T) {
+	// All 64 threads atomically add 1 to a counter.
+	b := NewBuilder("atom", 6).Params(1)
+	b.LdParam(0, 0)
+	b.AtomAdd(1, R(0), I(1), 0)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewGlobalMem()
+	ctr := mem.Alloc(4)
+	l := &Launch{Prog: p, Grid: Dim{2, 1}, Block: Dim{32, 1}, Params: []uint32{ctr}}
+	if _, err := Interp(l, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Read32(ctr); got != 64 {
+		t.Errorf("counter = %d, want 64", got)
+	}
+}
+
+func TestConstMemory(t *testing.T) {
+	b := NewBuilder("const", 6).Params(1)
+	b.SReg(0, SpecTidX)
+	b.IShl(1, R(0), I(2))
+	b.Ld(SpaceConst, 2, R(1), 0)
+	b.LdParam(3, 0)
+	b.IAdd(3, R(3), R(1))
+	b.St(SpaceGlobal, R(3), R(2), 0)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmem := NewConstMem(128)
+	cvals := make([]int32, 32)
+	for i := range cvals {
+		cvals[i] = int32(1000 + i)
+	}
+	cmem.WriteI32Slice(0, cvals)
+	mem := NewGlobalMem()
+	out := mem.Alloc(32 * 4)
+	l := &Launch{Prog: p, Grid: Dim{1, 1}, Block: Dim{32, 1}, Params: []uint32{out}}
+	if _, err := Interp(l, mem, cmem); err != nil {
+		t.Fatal(err)
+	}
+	got := mem.ReadI32Slice(out, 32)
+	for i := range got {
+		if got[i] != cvals[i] {
+			t.Errorf("out[%d] = %d, want %d", i, got[i], cvals[i])
+		}
+	}
+}
+
+func TestIntegerOps(t *testing.T) {
+	cases := []struct {
+		name string
+		emit func(b *Builder) // compute into r5 from r0=tid
+		want func(tid int32) int32
+	}{
+		{"isub", func(b *Builder) { b.ISub(5, R(0), I(3)) }, func(t int32) int32 { return t - 3 }},
+		{"imul", func(b *Builder) { b.IMul(5, R(0), I(-7)) }, func(t int32) int32 { return t * -7 }},
+		{"imin", func(b *Builder) { b.IMin(5, R(0), I(5)) }, func(t int32) int32 { return min32(t, 5) }},
+		{"imax", func(b *Builder) { b.IMax(5, R(0), I(5)) }, func(t int32) int32 { return max32(t, 5) }},
+		{"iand", func(b *Builder) { b.IAnd(5, R(0), I(6)) }, func(t int32) int32 { return t & 6 }},
+		{"ior", func(b *Builder) { b.IOr(5, R(0), I(8)) }, func(t int32) int32 { return t | 8 }},
+		{"ixor", func(b *Builder) { b.IXor(5, R(0), I(0xF)) }, func(t int32) int32 { return t ^ 0xF }},
+		{"inot", func(b *Builder) { b.INot(5, R(0)) }, func(t int32) int32 { return ^t }},
+		{"ishl", func(b *Builder) { b.IShl(5, R(0), I(3)) }, func(t int32) int32 { return t << 3 }},
+		{"ishr", func(b *Builder) { b.IShr(5, R(0), I(1)) }, func(t int32) int32 { return int32(uint32(t) >> 1) }},
+		{"isra", func(b *Builder) { b.ISub(4, R(0), I(16)); b.ISra(5, R(4), I(2)) }, func(t int32) int32 { return (t - 16) >> 2 }},
+		{"isel", func(b *Builder) { b.IAnd(4, R(0), I(1)); b.ISel(5, R(4), I(11), I(22)) }, func(t int32) int32 {
+			if t&1 != 0 {
+				return 11
+			}
+			return 22
+		}},
+		{"iset.le", func(b *Builder) { b.ISet(5, CmpLE, R(0), I(10)) }, func(t int32) int32 { return boolI(t <= 10) }},
+		{"iset.ne", func(b *Builder) { b.ISet(5, CmpNE, R(0), I(4)) }, func(t int32) int32 { return boolI(t != 4) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := NewBuilder(c.name, 8).Params(1)
+			b.SReg(0, SpecTidX)
+			c.emit(b)
+			b.LdParam(6, 0)
+			b.IShl(7, R(0), I(2))
+			b.IAdd(6, R(6), R(7))
+			b.St(SpaceGlobal, R(6), R(5), 0)
+			b.Exit()
+			p, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem := NewGlobalMem()
+			out := mem.Alloc(32 * 4)
+			l := &Launch{Prog: p, Grid: Dim{1, 1}, Block: Dim{32, 1}, Params: []uint32{out}}
+			if _, err := Interp(l, mem, nil); err != nil {
+				t.Fatal(err)
+			}
+			got := mem.ReadI32Slice(out, 32)
+			for i := range got {
+				if want := c.want(int32(i)); got[i] != want {
+					t.Fatalf("lane %d: got %d, want %d", i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func boolI(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

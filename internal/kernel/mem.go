@@ -1,0 +1,156 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// GlobalMem is the device global-memory image: a flat 32-bit byte-address
+// space accessed in aligned 32-bit words. The host side of a benchmark
+// allocates buffers, fills inputs and reads back results; the device side
+// accesses it through Ld/St instructions.
+type GlobalMem struct {
+	words []uint32
+	next  uint32
+}
+
+// NewGlobalMem returns an empty memory. The zero address is left unmapped so
+// that address 0 can serve as a null pointer.
+func NewGlobalMem() *GlobalMem {
+	return &GlobalMem{next: 256}
+}
+
+// Alloc reserves n bytes and returns the base address (256-byte aligned,
+// mirroring cudaMalloc alignment).
+func (m *GlobalMem) Alloc(n int) uint32 {
+	if n < 0 {
+		panic("kernel: negative allocation")
+	}
+	base := m.next
+	m.next += uint32((n + 255) &^ 255)
+	if need := int(m.next+3) / 4; need > len(m.words) {
+		grown := make([]uint32, need+need/2)
+		copy(grown, m.words)
+		m.words = grown
+	}
+	return base
+}
+
+// Size returns the high-water byte size of the allocated space.
+func (m *GlobalMem) Size() int { return int(m.next) }
+
+func (m *GlobalMem) idx(addr uint32) int {
+	i := int(addr / 4)
+	if i >= len(m.words) {
+		// Accesses beyond the allocated space grow the image; hardware would
+		// fault, but benchmarks under test deserve a readable zero rather
+		// than a crash, and the functional tests verify addresses anyway.
+		grown := make([]uint32, i+i/2+4)
+		copy(grown, m.words)
+		m.words = grown
+	}
+	return i
+}
+
+// Read32 loads the aligned 32-bit word containing addr.
+func (m *GlobalMem) Read32(addr uint32) uint32 { return m.words[m.idx(addr)] }
+
+// Write32 stores v to the aligned 32-bit word containing addr.
+func (m *GlobalMem) Write32(addr uint32, v uint32) { m.words[m.idx(addr)] = v }
+
+// ReadF32 loads a float32.
+func (m *GlobalMem) ReadF32(addr uint32) float32 { return b2f(m.Read32(addr)) }
+
+// WriteF32 stores a float32.
+func (m *GlobalMem) WriteF32(addr uint32, v float32) { m.Write32(addr, f2b(v)) }
+
+// WriteI32Slice bulk-writes int32 values starting at addr.
+func (m *GlobalMem) WriteI32Slice(addr uint32, vs []int32) {
+	for i, v := range vs {
+		m.Write32(addr+uint32(4*i), uint32(v))
+	}
+}
+
+// ReadI32Slice bulk-reads n int32 values starting at addr.
+func (m *GlobalMem) ReadI32Slice(addr uint32, n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(m.Read32(addr + uint32(4*i)))
+	}
+	return out
+}
+
+// WriteF32Slice bulk-writes float32 values starting at addr.
+func (m *GlobalMem) WriteF32Slice(addr uint32, vs []float32) {
+	for i, v := range vs {
+		m.WriteF32(addr+uint32(4*i), v)
+	}
+}
+
+// ReadF32Slice bulk-reads n float32 values starting at addr.
+func (m *GlobalMem) ReadF32Slice(addr uint32, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = m.ReadF32(addr + uint32(4*i))
+	}
+	return out
+}
+
+// AllocF32 allocates and initialises a float32 buffer, returning its address.
+func (m *GlobalMem) AllocF32(vs []float32) uint32 {
+	a := m.Alloc(4 * len(vs))
+	m.WriteF32Slice(a, vs)
+	return a
+}
+
+// AllocI32 allocates and initialises an int32 buffer, returning its address.
+func (m *GlobalMem) AllocI32(vs []int32) uint32 {
+	a := m.Alloc(4 * len(vs))
+	m.WriteI32Slice(a, vs)
+	return a
+}
+
+// AllocZeroF32 allocates an n-element zeroed float32 buffer.
+func (m *GlobalMem) AllocZeroF32(n int) uint32 { return m.Alloc(4 * n) }
+
+func f2b(v float32) uint32 { return math.Float32bits(v) }
+func b2f(v uint32) float32 { return math.Float32frombits(v) }
+
+// ConstMem is the read-only constant segment, indexed by byte address.
+type ConstMem struct {
+	words []uint32
+}
+
+// NewConstMem builds a constant segment of the given byte size.
+func NewConstMem(bytes int) *ConstMem {
+	return &ConstMem{words: make([]uint32, (bytes+3)/4)}
+}
+
+// WriteF32Slice initialises constants (host-side, pre-launch).
+func (c *ConstMem) WriteF32Slice(addr uint32, vs []float32) {
+	for i, v := range vs {
+		c.words[int(addr/4)+i] = f2b(v)
+	}
+}
+
+// WriteI32Slice initialises integer constants.
+func (c *ConstMem) WriteI32Slice(addr uint32, vs []int32) {
+	for i, v := range vs {
+		c.words[int(addr/4)+i] = uint32(v)
+	}
+}
+
+// Read32 loads a constant word; out-of-range reads return zero like an
+// unmapped constant bank.
+func (c *ConstMem) Read32(addr uint32) uint32 {
+	i := int(addr / 4)
+	if i >= len(c.words) {
+		return 0
+	}
+	return c.words[i]
+}
+
+// Bytes returns the segment size in bytes.
+func (c *ConstMem) Bytes() int { return 4 * len(c.words) }
+
+func (c *ConstMem) String() string { return fmt.Sprintf("const[%dB]", c.Bytes()) }

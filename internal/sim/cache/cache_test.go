@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mk(t *testing.T, size, line, assoc int, pol WritePolicy) *Cache {
+	t.Helper()
+	c, err := New(Config{SizeBytes: size, LineBytes: line, Assoc: assoc, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewErrors(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Assoc: 4},
+		{SizeBytes: 1024, LineBytes: 0, Assoc: 4},
+		{SizeBytes: 1024, LineBytes: 64, Assoc: 0},
+		{SizeBytes: 1000, LineBytes: 64, Assoc: 4}, // not a multiple
+		{SizeBytes: 1024, LineBytes: 48, Assoc: 4}, // line not pow2
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, cfg)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mk(t, 1024, 64, 4, WriteBack)
+	if r := c.Access(0x100, false); r.Hit {
+		t.Error("cold access should miss")
+	}
+	if r := c.Access(0x100, false); !r.Hit {
+		t.Error("second access should hit")
+	}
+	if r := c.Access(0x108, false); !r.Hit {
+		t.Error("same-line access should hit")
+	}
+	if c.Reads != 3 || c.ReadMisses != 1 {
+		t.Errorf("reads=%d misses=%d, want 3/1", c.Reads, c.ReadMisses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-ish: 2 ways, force 3 lines into one set.
+	c := mk(t, 2*64*4, 64, 2, WriteBack) // 4 sets, 2 ways
+	setStride := uint64(4 * 64)          // same set every 256 bytes
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a most recent
+	c.Access(d, false) // evicts b
+	if r := c.Access(a, false); !r.Hit {
+		t.Error("a should still be resident")
+	}
+	if r := c.Access(b, false); r.Hit {
+		t.Error("b should have been evicted (LRU)")
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	c := mk(t, 1024, 64, 4, WriteThrough)
+	if r := c.Access(0x40, true); r.Hit || r.Filled {
+		t.Error("write-through store miss must not allocate")
+	}
+	if r := c.Access(0x40, false); r.Hit {
+		t.Error("line must not be resident after store no-allocate")
+	}
+	// After a load allocates, a store hit must not dirty the line.
+	c.Access(0x80, false)
+	c.Access(0x80, true)
+	if n := c.Flush(); n != 0 {
+		t.Errorf("write-through cache flushed %d dirty lines, want 0", n)
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	c := mk(t, 2*64, 64, 1, WriteBack) // 2 sets, direct mapped
+	c.Access(0x00, true)               // allocate dirty in set 0
+	r := c.Access(0x80, true)          // same set, evicts dirty victim
+	if !r.Writeback {
+		t.Error("evicting dirty line must report writeback")
+	}
+	if r.VictimLine != 0 {
+		t.Errorf("victim line = %#x, want 0", r.VictimLine)
+	}
+	if c.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Writebacks)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := mk(t, 1024, 64, 4, WriteBack)
+	if c.HitRate() != 1 {
+		t.Error("unused cache should report hit rate 1")
+	}
+	c.Access(0, false)
+	c.Access(0, false)
+	c.Access(0, false)
+	c.Access(0, false)
+	if hr := c.HitRate(); hr != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", hr)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := mk(t, 1024, 64, 4, WriteBack)
+	c.Access(0x000, true)
+	c.Access(0x400, true)
+	c.Access(0x800, false)
+	if n := c.Flush(); n != 2 {
+		t.Errorf("flush returned %d dirty lines, want 2", n)
+	}
+	if r := c.Access(0x000, false); r.Hit {
+		t.Error("flush must invalidate")
+	}
+}
+
+func TestWorkingSetResidency(t *testing.T) {
+	// A working set equal to the cache size must be fully resident after a
+	// warm-up pass (no conflict surprises with pow2 strides).
+	c := mk(t, 4096, 64, 4, WriteBack)
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < 4096; addr += 64 {
+			c.Access(addr, false)
+		}
+	}
+	// Second pass must have been all hits.
+	if c.ReadMisses != 64 {
+		t.Errorf("misses = %d, want 64 (cold only)", c.ReadMisses)
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	// Property: an access immediately repeated always hits, and stats are
+	// consistent (misses <= accesses).
+	c := mk(t, 8192, 128, 8, WriteBack)
+	f := func(addr uint32, write bool) bool {
+		c.Access(uint64(addr), write)
+		r := c.Access(uint64(addr), false)
+		if !r.Hit {
+			return false
+		}
+		return c.ReadMisses <= c.Reads && c.WriteMisses <= c.Writes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,552 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/kernel"
+	"gpusimpow/internal/sim/cache"
+)
+
+// wbEvent is a scheduled writeback: when the pipeline or memory system
+// delivers the result of an in-flight instruction back to the warp.
+type wbEvent struct {
+	cycle uint64
+	slot  int
+	reg   uint8
+	hasWB bool // writes a register (counts an RF bank write)
+	isMem bool // memory instruction (two-level scheduler demotion state)
+	lanes int
+}
+
+type wbHeap []wbEvent
+
+func (h wbHeap) Len() int            { return len(h) }
+func (h wbHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
+func (h wbHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wbHeap) Push(x interface{}) { *h = append(*h, x.(wbEvent)) }
+func (h *wbHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// blockRt is a thread block resident on a core.
+type blockRt struct {
+	env         *kernel.Env
+	slots       []int // warp slot indices
+	total       int   // warps in the block
+	finished    int
+	atBarrier   int
+	outstanding int // in-flight instructions across the block's warps
+}
+
+// warpSlot is the per-warp control state of the warp control unit.
+type warpSlot struct {
+	active bool
+	w      *kernel.Warp
+	block  *blockRt
+
+	ibValid   bool
+	fetchedAt uint64
+
+	pendingN    int
+	pendingRegs []uint8 // scoreboard: destination registers in flight
+
+	// ageStamp orders warps by placement for GTO/two-level policies.
+	ageStamp uint64
+	// memPending counts outstanding memory instructions (two-level
+	// scheduler demotes warps waiting on memory).
+	memPending int
+}
+
+// coreState is one SIMT core (SM): warps, schedulers, pipelines, L1 and
+// constant caches.
+type coreState struct {
+	id, cluster int
+	cfg         *config.GPU
+
+	slots  []warpSlot
+	blocks []*blockRt
+
+	// Resource accounting for the block dispatcher.
+	freeWarps int
+	freeSMem  int
+	freeRegs  int
+
+	// Pipeline availability (cycle when the unit accepts the next warp).
+	spFree   []uint64 // per scheduler
+	sfuFree  uint64
+	ldstFree uint64
+
+	fetchRR    int
+	issueRR    []int
+	lastIssued []int // per scheduler: slot that issued last (GTO greediness)
+	ageCounter uint64
+	orderBuf   []int // scratch for candidate ordering
+
+	events wbHeap
+
+	l1     *cache.Cache // nil when absent
+	ccache *cache.Cache
+	tcache *cache.Cache // texture cache; nil when absent
+
+	scratch []uint8 // reusable register list
+}
+
+func newCoreState(id int, cfg *config.GPU) (*coreState, error) {
+	c := &coreState{
+		id:        id,
+		cluster:   id / cfg.CoresPerCluster,
+		cfg:       cfg,
+		slots:     make([]warpSlot, cfg.MaxWarpsPerCore),
+		freeWarps: cfg.MaxWarpsPerCore,
+		freeSMem:  cfg.SharedMemPerCoreKB * 1024,
+		freeRegs:  cfg.RegsPerCore,
+		spFree:    make([]uint64, cfg.Schedulers),
+		issueRR:   make([]int, cfg.Schedulers),
+	}
+	c.lastIssued = make([]int, cfg.Schedulers)
+	for i := range c.lastIssued {
+		c.lastIssued[i] = -1
+	}
+	if cfg.L1KB > 0 {
+		l1, err := cache.New(cache.Config{
+			SizeBytes: cfg.L1KB * 1024, LineBytes: cfg.L1LineB,
+			Assoc: cfg.L1Assoc, Policy: cache.WriteThrough,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: core %d L1: %w", id, err)
+		}
+		c.l1 = l1
+	}
+	cc, err := cache.New(cache.Config{
+		SizeBytes: cfg.ConstCacheKB * 1024, LineBytes: cfg.ConstLineB,
+		Assoc: 4, Policy: cache.WriteThrough,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: core %d const cache: %w", id, err)
+	}
+	c.ccache = cc
+	if cfg.TexCacheKB > 0 {
+		tc, err := cache.New(cache.Config{
+			SizeBytes: cfg.TexCacheKB * 1024, LineBytes: cfg.TexLineB,
+			Assoc: 4, Policy: cache.WriteThrough,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: core %d texture cache: %w", id, err)
+		}
+		c.tcache = tc
+	}
+	return c, nil
+}
+
+// residentWarps reports whether the core has any work.
+func (c *coreState) residentWarps() bool { return c.freeWarps < len(c.slots) }
+
+// residentBlocks returns the number of blocks on the core.
+func (c *coreState) residentBlocks() int { return len(c.blocks) }
+
+// canAccept reports whether a block with the given demands fits.
+func (c *coreState) canAccept(warps, smemBytes, regs int) bool {
+	return len(c.blocks) < c.cfg.MaxBlocksPerCore &&
+		c.freeWarps >= warps && c.freeSMem >= smemBytes && c.freeRegs >= regs
+}
+
+// place installs a block's warps into free slots.
+func (c *coreState) place(l *kernel.Launch, env *kernel.Env, smemBytes, regs int, a *Activity) *blockRt {
+	nw := l.WarpsPerBlock()
+	threads := l.ThreadsPerBlock()
+	b := &blockRt{env: env, total: nw}
+	for i := 0; i < nw; i++ {
+		lanes := kernel.WarpSize
+		if rem := threads - i*kernel.WarpSize; rem < kernel.WarpSize {
+			lanes = rem
+		}
+		slot := c.findFreeSlot()
+		c.ageCounter++
+		c.slots[slot] = warpSlot{
+			active:   true,
+			w:        kernel.NewWarp(i, lanes, l.Prog.NumRegs),
+			block:    b,
+			ageStamp: c.ageCounter,
+		}
+		b.slots = append(b.slots, slot)
+		a.WSTWrites++ // warp status table entry initialised
+		a.WarpsLaunched++
+	}
+	a.ThreadsLaunched += uint64(threads)
+	c.freeWarps -= nw
+	c.freeSMem -= smemBytes
+	c.freeRegs -= regs
+	c.blocks = append(c.blocks, b)
+	return b
+}
+
+func (c *coreState) findFreeSlot() int {
+	for i := range c.slots {
+		if !c.slots[i].active {
+			return i
+		}
+	}
+	panic("sim: no free warp slot despite accounting")
+}
+
+// retire frees a completed block's resources.
+func (c *coreState) retire(b *blockRt, smemBytes, regs int) {
+	for _, s := range b.slots {
+		c.slots[s] = warpSlot{}
+	}
+	c.freeWarps += b.total
+	c.freeSMem += smemBytes
+	c.freeRegs += regs
+	for i, bb := range c.blocks {
+		if bb == b {
+			c.blocks = append(c.blocks[:i], c.blocks[i+1:]...)
+			break
+		}
+	}
+}
+
+// drainEvents applies writebacks due at the current cycle.
+func (c *coreState) drainEvents(now uint64, a *Activity) {
+	for len(c.events) > 0 && c.events[0].cycle <= now {
+		ev := heap.Pop(&c.events).(wbEvent)
+		sl := &c.slots[ev.slot]
+		if !sl.active {
+			continue // block already retired (possible only after errors)
+		}
+		sl.pendingN--
+		sl.block.outstanding--
+		if ev.isMem && sl.memPending > 0 {
+			sl.memPending--
+		}
+		if ev.hasWB {
+			a.RFBankWrites++
+			a.SBWrites++ // scoreboard entry release
+			for i, r := range sl.pendingRegs {
+				if r == ev.reg {
+					sl.pendingRegs = append(sl.pendingRegs[:i], sl.pendingRegs[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// fetchStage models instruction fetch + decode: up to Schedulers warps per
+// cycle refill their instruction buffer slot.
+func (c *coreState) fetchStage(now uint64, a *Activity) {
+	n := len(c.slots)
+	fetched := 0
+	for scan := 0; scan < n && fetched < c.cfg.Schedulers; scan++ {
+		i := (c.fetchRR + scan) % n
+		sl := &c.slots[i]
+		if !sl.active || sl.ibValid || sl.w.Finished || sl.w.AtBarrier {
+			continue
+		}
+		sl.ibValid = true
+		sl.fetchedAt = now
+		fetched++
+		a.ICacheReads++
+		a.Decodes++
+		a.WSTReads++
+		a.WSTWrites++
+		a.IBufWrites++
+		c.fetchRR = (i + 1) % n
+	}
+}
+
+// hazard reports whether the instruction at the warp's PC has a register
+// dependency against in-flight instructions (scoreboard check) or, in
+// blocking mode, whether anything at all is outstanding.
+func (c *coreState) hazard(sl *warpSlot, in *kernel.Instr) bool {
+	if !c.cfg.HasScoreboard {
+		return sl.pendingN > 0
+	}
+	if len(sl.pendingRegs) >= c.cfg.ScoreboardEntries {
+		return true
+	}
+	c.scratch = in.SrcRegs(c.scratch[:0])
+	if in.HasDst {
+		c.scratch = append(c.scratch, in.Dst)
+	}
+	for _, r := range c.scratch {
+		for _, p := range sl.pendingRegs {
+			if p == r {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unitFree checks structural availability for the instruction class.
+func (c *coreState) unitFree(class kernel.Class, sched int, now uint64) bool {
+	switch class {
+	case kernel.ClassInt, kernel.ClassFP:
+		return c.spFree[sched] <= now
+	case kernel.ClassSFU:
+		return c.sfuFree <= now
+	case kernel.ClassMem:
+		return c.ldstFree <= now
+	default:
+		return true
+	}
+}
+
+// issueStage arbitrates and issues up to one instruction per scheduler,
+// considering warps in the order the configured scheduling policy dictates.
+func (g *gpuSim) issueStage(c *coreState, now uint64) error {
+	a := &g.act
+	n := len(c.slots)
+	for sched := 0; sched < c.cfg.Schedulers; sched++ {
+		c.orderBuf = g.candidateOrder(c, sched, c.orderBuf)
+		arbitrated := false
+		for _, i := range c.orderBuf {
+			sl := &c.slots[i]
+			if sl.fetchedAt >= now {
+				continue
+			}
+			if !arbitrated {
+				arbitrated = true
+				a.SchedArbs++
+			}
+			in := &sl.block.env.Block.Launch.Prog.Instrs[sl.w.PC()]
+			a.SBSearches++
+			if c.hazard(sl, in) {
+				continue
+			}
+			class := kernel.ClassOf(in.Op)
+			if !c.unitFree(class, sched, now) {
+				continue
+			}
+			if err := g.issueInstr(c, sl, i, sched, in, class, now); err != nil {
+				return err
+			}
+			c.issueRR[sched] = (i + 1) % n
+			c.lastIssued[sched] = i
+			break // one issue per scheduler per cycle
+		}
+	}
+	return nil
+}
+
+// issueInstr executes one instruction functionally and models its timing.
+func (g *gpuSim) issueInstr(c *coreState, sl *warpSlot, slotIdx, sched int, in *kernel.Instr, class kernel.Class, now uint64) error {
+	a := &g.act
+	cfg := c.cfg
+	prog := sl.block.env.Block.Launch.Prog
+
+	info, err := sl.w.Exec(prog, sl.block.env)
+	if err != nil {
+		return fmt.Errorf("core %d slot %d: %w", c.id, slotIdx, err)
+	}
+
+	sl.ibValid = false
+	a.IssuedInstrs++
+	a.IBufReads++
+	a.WSTReads++
+	a.ReconvReads++
+	if info.Diverged {
+		a.ReconvPushes += 2
+	}
+	a.ReconvPops += uint64(info.Reconverged)
+
+	// Register file activity: one bank row read per source register
+	// (operands collected over multiple cycles), one collector fill and one
+	// crossbar transfer each.
+	c.scratch = in.SrcRegs(c.scratch[:0])
+	nsrc := uint64(len(c.scratch))
+	a.RFBankReads += nsrc
+	a.OCWrites += nsrc
+	a.OperandXbar += nsrc
+
+	lanes := info.ActiveLanes
+	var latency uint64
+	hasWB := in.HasDst
+
+	switch class {
+	case kernel.ClassInt, kernel.ClassFP:
+		ii := uint64(cfg.WarpSize / (cfg.FUsPerCore / cfg.Schedulers))
+		if ii == 0 {
+			ii = 1
+		}
+		c.spFree[sched] = now + ii
+		latency = uint64(cfg.ALULatency)
+		if class == kernel.ClassInt {
+			a.IntWarpInstrs++
+			a.IntThreadInstrs += uint64(lanes)
+		} else {
+			a.FPWarpInstrs++
+			a.FPThreadInstrs += uint64(lanes)
+		}
+	case kernel.ClassSFU:
+		ii := uint64(cfg.WarpSize / cfg.SFUsPerCore)
+		if ii == 0 {
+			ii = 1
+		}
+		c.sfuFree = now + ii
+		latency = uint64(cfg.SFULatency)
+		a.SFUWarpInstrs++
+		a.SFUThreadInstrs += uint64(lanes)
+	case kernel.ClassMem:
+		a.MemWarpInstrs++
+		var err error
+		latency, err = g.memAccess(c, in, &info, now)
+		if err != nil {
+			return err
+		}
+	default: // control
+		a.CtrlWarpInstrs++
+		latency = 1
+		hasWB = false
+	}
+
+	if info.AtBarrier {
+		sl.block.atBarrier++
+		g.maybeReleaseBarrier(c, sl.block)
+	}
+	if info.Finished {
+		sl.block.finished++
+		a.WSTWrites++
+		g.maybeReleaseBarrier(c, sl.block)
+	}
+
+	if class == kernel.ClassCtrl && !hasWB {
+		// Control instructions complete immediately; no pipeline slot held.
+		g.maybeRetireBlock(c, sl.block)
+		return nil
+	}
+
+	if cfg.HasScoreboard && hasWB {
+		sl.pendingRegs = append(sl.pendingRegs, in.Dst)
+		a.SBWrites++
+	}
+	sl.pendingN++
+	sl.block.outstanding++
+	isMem := class == kernel.ClassMem
+	if isMem {
+		sl.memPending++
+	}
+	heap.Push(&c.events, wbEvent{cycle: now + latency, slot: slotIdx, reg: in.Dst, hasWB: hasWB, isMem: isMem, lanes: lanes})
+	return nil
+}
+
+// memAccess routes a memory instruction through the LDST unit: AGU, then the
+// space-specific path. It returns the dependency latency.
+func (g *gpuSim) memAccess(c *coreState, in *kernel.Instr, info *kernel.StepInfo, now uint64) (uint64, error) {
+	a := &g.act
+	cfg := c.cfg
+	lanes := info.ActiveLanes
+
+	// AGU: sub-AGUs generate 8 addresses per cycle.
+	a.AGUAddresses += uint64(lanes)
+	aguCycles := uint64((lanes + 7) / 8)
+	if aguCycles == 0 {
+		aguCycles = 1
+	}
+
+	switch in.Space {
+	case kernel.SpaceShared:
+		extra := smemExtraCycles(info, cfg.SMemBanks)
+		a.SMemAccesses += uint64(lanes)
+		a.SMemConflicts += uint64(extra)
+		c.ldstFree = now + aguCycles + uint64(extra)
+		return uint64(cfg.SMemLatency) + uint64(extra), nil
+
+	case kernel.SpaceConst, kernel.SpaceParam:
+		addrs := constDistinctAddrs(info)
+		a.ConstReads += uint64(len(addrs))
+		worst := uint64(cfg.SMemLatency)
+		for _, ad := range addrs {
+			res := c.ccache.Access(uint64(ad), false)
+			if !res.Hit {
+				a.ConstMisses++
+				done := g.mem.globalSegment(now, constRegionBase+ad, cfg.ConstLineB, false, a)
+				if done-now > worst {
+					worst = done - now
+				}
+			}
+		}
+		c.ldstFree = now + aguCycles + uint64(len(addrs)-1)
+		return worst, nil
+
+	case kernel.SpaceTexture:
+		if c.tcache == nil {
+			return 0, fmt.Errorf("sim: texture access on %s, which has no texture cache configured", cfg.Name)
+		}
+		// Per-lane addresses collapse to distinct cache lines; hits are
+		// served at L1-like latency, misses fetch the line from memory.
+		lines := map[uint32]struct{}{}
+		for l := 0; l < kernel.WarpSize; l++ {
+			if info.ExecMask&(1<<l) == 0 {
+				continue
+			}
+			lines[info.Addrs[l]&^uint32(cfg.TexLineB-1)] = struct{}{}
+		}
+		worst := uint64(cfg.SMemLatency) + 12 // TMU addressing + filtering pipe
+		for line := range lines {
+			a.TexReads++
+			if res := c.tcache.Access(uint64(line), false); !res.Hit {
+				a.TexMisses++
+				done := g.mem.globalSegment(now, line, cfg.TexLineB, false, a)
+				if done-now > worst {
+					worst = done - now
+				}
+			}
+		}
+		c.ldstFree = now + aguCycles + uint64(len(lines))
+		return worst, nil
+
+	case kernel.SpaceGlobal:
+		write := in.Op == kernel.OpSt
+		segs := coalesce(info)
+		a.CoalescerQueries++
+		a.CoalescedReqs += uint64(len(segs))
+		a.PRTWrites += uint64(len(segs))
+		var worst uint64
+		for _, seg := range segs {
+			segDone := g.globalThroughL1(c, now, seg, write, a)
+			if segDone > worst {
+				worst = segDone
+			}
+		}
+		c.ldstFree = now + aguCycles + uint64(len(segs))
+		if write {
+			// Stores retire once handed to the memory system.
+			return 4, nil
+		}
+		if worst <= now {
+			worst = now + uint64(cfg.SMemLatency)
+		}
+		return worst - now, nil
+	}
+	return 0, fmt.Errorf("sim: unhandled memory space %v", in.Space)
+}
+
+// globalThroughL1 sends one segment through the per-core L1 (when present)
+// and on to the shared memory system.
+func (g *gpuSim) globalThroughL1(c *coreState, now uint64, seg uint32, write bool, a *Activity) uint64 {
+	if c.l1 != nil {
+		res := c.l1.Access(uint64(seg), write)
+		if write {
+			a.L1Writes++
+			// Write-through: always forwarded.
+			return g.mem.globalSegment(now, seg, segmentBytes, true, a)
+		}
+		a.L1Reads++
+		if res.Hit {
+			return now + uint64(c.cfg.SMemLatency) + 8
+		}
+		a.L1Misses++
+		return g.mem.globalSegment(now, seg, segmentBytes, false, a)
+	}
+	if write {
+		return g.mem.globalSegment(now, seg, segmentBytes, true, a)
+	}
+	return g.mem.globalSegment(now, seg, segmentBytes, false, a)
+}

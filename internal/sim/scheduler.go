@@ -1,0 +1,98 @@
+package sim
+
+import "sort"
+
+// Warp scheduling policies. The paper's baseline is the rotating-priority
+// (round-robin) scheduler of Section III-C1; its conclusion proposes
+// studying "two-level scheduling" and similar mechanisms "from a power
+// perspective", so the simulator supports three policies:
+//
+//	rr        rotating priority over all in-flight warps (default)
+//	gto       greedy-then-oldest: keep issuing the same warp until it
+//	          stalls, then fall back to the oldest ready warp
+//	twolevel  Narasiman et al.: a small active set is scheduled
+//	          round-robin; warps that stall on memory are swapped out for
+//	          pending warps. The smaller active set needs a narrower
+//	          priority encoder, which is precisely its power appeal.
+const (
+	PolicyRR       = "rr"
+	PolicyGTO      = "gto"
+	PolicyTwoLevel = "twolevel"
+)
+
+// candidateOrder fills buf with the slot indices scheduler `sched` should
+// consider this cycle, in priority order.
+func (g *gpuSim) candidateOrder(c *coreState, sched int, buf []int) []int {
+	buf = buf[:0]
+	n := len(c.slots)
+	mine := func(i int) bool { return i%c.cfg.Schedulers == sched }
+	issuable := func(sl *warpSlot) bool {
+		return sl.active && sl.ibValid && !sl.w.Finished && !sl.w.AtBarrier
+	}
+
+	switch g.policy {
+	case PolicyGTO:
+		// Greedy: last-issued warp first.
+		last := c.lastIssued[sched]
+		if last >= 0 && mine(last) && issuable(&c.slots[last]) {
+			buf = append(buf, last)
+		}
+		// Then all other issuable warps, oldest first.
+		for i := 0; i < n; i++ {
+			if i != last && mine(i) && issuable(&c.slots[i]) {
+				buf = append(buf, i)
+			}
+		}
+		rest := buf
+		if len(buf) > 0 && buf[0] == last {
+			rest = buf[1:]
+		}
+		sort.Slice(rest, func(a, b int) bool {
+			return c.slots[rest[a]].ageStamp < c.slots[rest[b]].ageStamp
+		})
+		return buf
+
+	case PolicyTwoLevel:
+		// Active set: the K oldest issuable warps not waiting on memory.
+		k := g.activeSet
+		var active, pending []int
+		for i := 0; i < n; i++ {
+			if !mine(i) || !issuable(&c.slots[i]) {
+				continue
+			}
+			if c.slots[i].memPending > 0 {
+				pending = append(pending, i)
+			} else {
+				active = append(active, i)
+			}
+		}
+		sort.Slice(active, func(a, b int) bool {
+			return c.slots[active[a]].ageStamp < c.slots[active[b]].ageStamp
+		})
+		if len(active) > k {
+			pending = append(pending, active[k:]...)
+			active = active[:k]
+		}
+		// Round-robin within the active set, then the pending warps.
+		start := 0
+		for i, s := range active {
+			if s >= c.issueRR[sched] {
+				start = i
+				break
+			}
+		}
+		for i := 0; i < len(active); i++ {
+			buf = append(buf, active[(start+i)%len(active)])
+		}
+		return append(buf, pending...)
+
+	default: // PolicyRR
+		for scan := 0; scan < n; scan++ {
+			i := (c.issueRR[sched] + scan) % n
+			if mine(i) && issuable(&c.slots[i]) {
+				buf = append(buf, i)
+			}
+		}
+		return buf
+	}
+}

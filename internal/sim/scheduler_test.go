@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"testing"
+
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/kernel"
+)
+
+// memLatencyKernel interleaves dependent global loads with FP work so that
+// latency-hiding ability differentiates scheduling policies.
+func memLatencyKernel() (*kernel.Program, func() (*kernel.Launch, *kernel.GlobalMem)) {
+	b := kernel.NewBuilder("memlat", 14).Params(2)
+	b.SReg(0, kernel.SpecTidX)
+	b.SReg(1, kernel.SpecCtaX)
+	b.SReg(2, kernel.SpecNTidX)
+	b.IMad(0, kernel.R(1), kernel.R(2), kernel.R(0))
+	b.LdParam(3, 0)
+	b.IShl(4, kernel.R(0), kernel.I(2))
+	b.IAdd(3, kernel.R(3), kernel.R(4))
+	b.MovF(5, 0)
+	b.MovI(6, 0)
+	b.Label("loop")
+	b.Ld(kernel.SpaceGlobal, 7, kernel.R(3), 0) // dependent load
+	b.FAdd(5, kernel.R(5), kernel.R(7))
+	b.FFma(5, kernel.R(5), kernel.F(1.0001), kernel.F(0.125))
+	b.IAdd(6, kernel.R(6), kernel.I(1))
+	b.ISet(8, kernel.CmpLT, kernel.R(6), kernel.I(8))
+	b.When(8).Bra("loop", "store")
+	b.Label("store")
+	b.LdParam(9, 1)
+	b.IAdd(9, kernel.R(9), kernel.R(4))
+	b.St(kernel.SpaceGlobal, kernel.R(9), kernel.R(5), 0)
+	b.Exit()
+	prog := b.MustBuild()
+	mk := func() (*kernel.Launch, *kernel.GlobalMem) {
+		mem := kernel.NewGlobalMem()
+		const n = 16 * 4 * 256
+		in := mem.AllocZeroF32(n)
+		out := mem.AllocZeroF32(n)
+		return &kernel.Launch{
+			Prog:   prog,
+			Grid:   kernel.Dim{X: n / 256, Y: 1},
+			Block:  kernel.Dim{X: 256, Y: 1},
+			Params: []uint32{in, out},
+		}, mem
+	}
+	return prog, mk
+}
+
+func runPolicy(t *testing.T, policy string) *Result {
+	t.Helper()
+	cfg := config.GTX580()
+	cfg.SchedulerPolicy = policy
+	_, mk := memLatencyKernel()
+	l, mem := mk()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := g.Run(l, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAllPoliciesProduceCorrectResults(t *testing.T) {
+	// Scheduling must never change functional results, only timing.
+	prog, mk := memLatencyKernel()
+	_ = prog
+	var ref []float32
+	for _, policy := range []string{"", "rr", "gto", "twolevel"} {
+		cfg := config.GT240()
+		cfg.SchedulerPolicy = policy
+		l, mem := mk()
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Run(l, mem, nil); err != nil {
+			t.Fatalf("%q: %v", policy, err)
+		}
+		out := mem.ReadF32Slice(l.Params[1], 64)
+		if ref == nil {
+			ref = out
+			continue
+		}
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("policy %q: out[%d] = %v differs from baseline %v", policy, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestPoliciesRunAndDiffer(t *testing.T) {
+	rr := runPolicy(t, "rr")
+	gto := runPolicy(t, "gto")
+	two := runPolicy(t, "twolevel")
+	if rr.Activity.Cycles == 0 || gto.Activity.Cycles == 0 || two.Activity.Cycles == 0 {
+		t.Fatal("policies must complete")
+	}
+	// The policies must actually change scheduling behaviour; identical
+	// cycle counts across all three would mean the policy plumbing is dead.
+	if rr.Activity.Cycles == gto.Activity.Cycles && rr.Activity.Cycles == two.Activity.Cycles {
+		t.Error("all policies produced identical timing; policy not wired through")
+	}
+	// Sanity: no policy should be catastrophically worse (> 3x) on this
+	// latency-bound kernel.
+	worst := rr.Activity.Cycles
+	for _, c := range []uint64{gto.Activity.Cycles, two.Activity.Cycles} {
+		if c > worst {
+			worst = c
+		}
+	}
+	if worst > 3*rr.Activity.Cycles {
+		t.Errorf("a policy is pathologically slow: %d vs rr %d", worst, rr.Activity.Cycles)
+	}
+}
+
+func TestInvalidPolicyRejected(t *testing.T) {
+	cfg := config.GT240()
+	cfg.SchedulerPolicy = "magic"
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown policy must be rejected")
+	}
+}
+
+func TestTwoLevelActiveSetDefault(t *testing.T) {
+	cfg := config.GT240()
+	cfg.SchedulerPolicy = "twolevel"
+	cfg.ActiveWarpsPerSched = 0 // default applies
+	_, mk := memLatencyKernel()
+	l, mem := mk()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(l, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteTable prints the activity counters as a grouped table — the raw
+// interface between the performance simulator and the power model, useful
+// for inspecting what a kernel actually exercised.
+func (a *Activity) WriteTable(w io.Writer) error {
+	type row struct {
+		name  string
+		value uint64
+	}
+	groups := []struct {
+		title string
+		rows  []row
+	}{
+		{"Execution", []row{
+			{"cycles", a.Cycles},
+			{"instructions issued", a.IssuedInstrs},
+			{"INT warp instrs", a.IntWarpInstrs},
+			{"FP warp instrs", a.FPWarpInstrs},
+			{"SFU warp instrs", a.SFUWarpInstrs},
+			{"MEM warp instrs", a.MemWarpInstrs},
+			{"CTRL warp instrs", a.CtrlWarpInstrs},
+			{"INT thread instrs", a.IntThreadInstrs},
+			{"FP thread instrs", a.FPThreadInstrs},
+			{"SFU thread instrs", a.SFUThreadInstrs},
+		}},
+		{"Warp control unit", []row{
+			{"I-cache reads", a.ICacheReads},
+			{"decodes", a.Decodes},
+			{"WST reads", a.WSTReads},
+			{"WST writes", a.WSTWrites},
+			{"I-buffer reads", a.IBufReads},
+			{"I-buffer writes", a.IBufWrites},
+			{"scheduler arbitrations", a.SchedArbs},
+			{"scoreboard searches", a.SBSearches},
+			{"scoreboard writes", a.SBWrites},
+			{"reconv stack reads", a.ReconvReads},
+			{"reconv stack pushes", a.ReconvPushes},
+			{"reconv stack pops", a.ReconvPops},
+		}},
+		{"Register file", []row{
+			{"bank reads", a.RFBankReads},
+			{"bank writes", a.RFBankWrites},
+			{"collector fills", a.OCWrites},
+			{"operand xbar transfers", a.OperandXbar},
+		}},
+		{"Load/store unit", []row{
+			{"AGU addresses", a.AGUAddresses},
+			{"coalescer queries", a.CoalescerQueries},
+			{"coalesced requests", a.CoalescedReqs},
+			{"PRT writes", a.PRTWrites},
+			{"SMEM accesses", a.SMemAccesses},
+			{"SMEM conflict cycles", a.SMemConflicts},
+			{"L1 reads", a.L1Reads},
+			{"L1 writes", a.L1Writes},
+			{"L1 misses", a.L1Misses},
+			{"const reads", a.ConstReads},
+			{"const misses", a.ConstMisses},
+			{"texture reads", a.TexReads},
+			{"texture misses", a.TexMisses},
+		}},
+		{"Memory system", []row{
+			{"L2 reads", a.L2Reads},
+			{"L2 writes", a.L2Writes},
+			{"L2 misses", a.L2Misses},
+			{"NoC flits", a.NoCFlits},
+			{"MC requests", a.MCRequests},
+			{"DRAM activates", a.DRAMActivates},
+			{"DRAM read bursts", a.DRAMReadBursts},
+			{"DRAM write bursts", a.DRAMWriteBursts},
+			{"PCIe bytes", a.PCIeBytes},
+		}},
+		{"Occupancy", []row{
+			{"blocks launched", a.BlocksLaunched},
+			{"warps launched", a.WarpsLaunched},
+			{"threads launched", a.ThreadsLaunched},
+			{"global scheduler cycles", a.GlobalSchedCycles},
+		}},
+	}
+	for _, g := range groups {
+		if _, err := fmt.Fprintf(w, "%s:\n", g.title); err != nil {
+			return err
+		}
+		for _, r := range g.rows {
+			if _, err := fmt.Fprintf(w, "  %-26s %14d\n", r.name, r.value); err != nil {
+				return err
+			}
+		}
+	}
+	var coreBusy uint64
+	for _, c := range a.CoreBusyCycles {
+		coreBusy += c
+	}
+	_, err := fmt.Fprintf(w, "  %-26s %14d (summed over %d cores)\n",
+		"core busy cycles", coreBusy, len(a.CoreBusyCycles))
+	return err
+}

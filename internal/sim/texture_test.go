@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/kernel"
+)
+
+// texGatherKernel reads a small texture with 2D locality and writes sums.
+func texGatherKernel() (*kernel.Program, func() (*kernel.Launch, *kernel.GlobalMem, []float32)) {
+	const w = 64
+	b := kernel.NewBuilder("texgather", 14).Params(2)
+	b.SReg(0, kernel.SpecTidX)
+	b.SReg(1, kernel.SpecCtaX)
+	b.SReg(2, kernel.SpecNTidX)
+	b.IMad(0, kernel.R(1), kernel.R(2), kernel.R(0))
+	b.LdParam(3, 0) // texture base
+	// Gather a 2x2 footprint around (tid % w, tid / w) — spatial locality.
+	b.IAnd(4, kernel.R(0), kernel.I(w-1)) // x
+	b.IShr(5, kernel.R(0), kernel.I(6))   // y
+	b.MovF(6, 0)
+	for _, d := range [][2]int32{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+		b.IAdd(7, kernel.R(4), kernel.I(d[0]))
+		b.IAnd(7, kernel.R(7), kernel.I(w-1))
+		b.IAdd(8, kernel.R(5), kernel.I(d[1]))
+		b.IAnd(8, kernel.R(8), kernel.I(w-1))
+		b.IMul(8, kernel.R(8), kernel.I(w))
+		b.IAdd(7, kernel.R(7), kernel.R(8))
+		b.IShl(7, kernel.R(7), kernel.I(2))
+		b.IAdd(7, kernel.R(3), kernel.R(7))
+		b.Ld(kernel.SpaceTexture, 9, kernel.R(7), 0)
+		b.FAdd(6, kernel.R(6), kernel.R(9))
+	}
+	b.LdParam(10, 1)
+	b.IShl(11, kernel.R(0), kernel.I(2))
+	b.IAdd(10, kernel.R(10), kernel.R(11))
+	b.St(kernel.SpaceGlobal, kernel.R(10), kernel.R(6), 0)
+	b.Exit()
+	prog := b.MustBuild()
+	mk := func() (*kernel.Launch, *kernel.GlobalMem, []float32) {
+		mem := kernel.NewGlobalMem()
+		tex := make([]float32, w*w)
+		for i := range tex {
+			tex[i] = float32(i % 31)
+		}
+		texAddr := mem.AllocF32(tex)
+		out := mem.AllocZeroF32(w * w)
+		l := &kernel.Launch{
+			Prog:   prog,
+			Grid:   kernel.Dim{X: w * w / 256, Y: 1},
+			Block:  kernel.Dim{X: 256, Y: 1},
+			Params: []uint32{texAddr, out},
+		}
+		return l, mem, tex
+	}
+	return prog, mk
+}
+
+func texConfig() *config.GPU {
+	cfg := config.GT240()
+	cfg.Name = "GT240+tex"
+	cfg.TexCacheKB = 8
+	cfg.TexLineB = 32
+	return cfg
+}
+
+func TestTextureCachePath(t *testing.T) {
+	_, mk := texGatherKernel()
+	l, mem, tex := mk()
+	g, err := New(texConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := g.Run(l, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Activity
+	if a.TexReads == 0 {
+		t.Fatal("texture reads not counted")
+	}
+	if a.TexMisses == 0 {
+		t.Error("cold texture lines should miss")
+	}
+	// Spatial locality: the 2x2 footprint must hit far more than it misses.
+	if float64(a.TexMisses) > 0.3*float64(a.TexReads) {
+		t.Errorf("texture hit rate too low: %d misses of %d reads", a.TexMisses, a.TexReads)
+	}
+	// Functional check.
+	const w = 64
+	out := mem.ReadF32Slice(l.Params[1], w*w)
+	for i := range out {
+		x, y := i%w, i/w
+		want := tex[y*w+x] + tex[y*w+(x+1)%w] + tex[(y+1)%w*w+x] + tex[(y+1)%w*w+(x+1)%w]
+		if out[i] != want {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], want)
+		}
+	}
+}
+
+func TestTextureWithoutCacheErrors(t *testing.T) {
+	_, mk := texGatherKernel()
+	l, mem, _ := mk()
+	g, err := New(config.GT240()) // no texture cache configured
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(l, mem, nil); err == nil {
+		t.Error("texture access without a texture cache must error")
+	}
+}
+
+func TestTextureConfigValidation(t *testing.T) {
+	cfg := config.GT240()
+	cfg.TexCacheKB = 8
+	cfg.TexLineB = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("texture cache without line size must be rejected")
+	}
+}

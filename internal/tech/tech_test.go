@@ -1,0 +1,141 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestForNodeExact(t *testing.T) {
+	for _, nm := range []float64{90, 65, 45, 40, 32, 22} {
+		n, err := ForNode(nm)
+		if err != nil {
+			t.Fatalf("ForNode(%v): %v", nm, err)
+		}
+		if n.FeatureNM != nm {
+			t.Errorf("ForNode(%v).FeatureNM = %v", nm, n.FeatureNM)
+		}
+	}
+}
+
+func TestForNodeOutOfRange(t *testing.T) {
+	for _, nm := range []float64{10, 21.9, 90.1, 180, 0, -5} {
+		if _, err := ForNode(nm); err == nil {
+			t.Errorf("ForNode(%v): expected error, got nil", nm)
+		}
+	}
+}
+
+func TestForNodeInterpolationMonotone(t *testing.T) {
+	// Smaller nodes must have lower Vdd, smaller cells, higher leakage density.
+	prev, err := ForNode(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for nm := 89.0; nm >= 22; nm-- {
+		n, err := ForNode(nm)
+		if err != nil {
+			t.Fatalf("ForNode(%v): %v", nm, err)
+		}
+		if n.Vdd > prev.Vdd+1e-12 {
+			t.Fatalf("Vdd not monotone at %v nm: %v > %v", nm, n.Vdd, prev.Vdd)
+		}
+		if n.SRAMCellUM2 > prev.SRAMCellUM2+1e-12 {
+			t.Fatalf("SRAM cell not monotone at %v nm", nm)
+		}
+		if n.LeakagePerMM2 < prev.LeakagePerMM2-1e-12 {
+			t.Fatalf("leakage density not monotone at %v nm", nm)
+		}
+		prev = n
+	}
+}
+
+func TestInterpolationBracketed(t *testing.T) {
+	n36, err := ForNode(36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n40 := MustNode(40)
+	n32 := MustNode(32)
+	if !(n36.Vdd <= n40.Vdd && n36.Vdd >= n32.Vdd) {
+		t.Errorf("interpolated Vdd %v not within [%v, %v]", n36.Vdd, n32.Vdd, n40.Vdd)
+	}
+	if !(n36.SRAMCellUM2 <= n40.SRAMCellUM2 && n36.SRAMCellUM2 >= n32.SRAMCellUM2) {
+		t.Errorf("interpolated SRAM cell %v not within bracket", n36.SRAMCellUM2)
+	}
+}
+
+func TestSwitchEnergyQuadraticInVdd(t *testing.T) {
+	n := MustNode(40)
+	e1 := n.SwitchEnergy(1e-12)
+	n2 := n
+	n2.Vdd = n.Vdd * 2
+	e2 := n2.SwitchEnergy(1e-12)
+	if math.Abs(e2/e1-4) > 1e-9 {
+		t.Errorf("switch energy should scale with Vdd^2: ratio %v", e2/e1)
+	}
+}
+
+func TestSwitchEnergyIncludesShortCircuit(t *testing.T) {
+	n := MustNode(40)
+	base := 1e-12 * n.Vdd * n.Vdd
+	if got := n.SwitchEnergy(1e-12); got <= base {
+		t.Errorf("SwitchEnergy %v should exceed CV^2 %v by short-circuit fraction", got, base)
+	}
+}
+
+func TestLeakagePowerLinearInWidth(t *testing.T) {
+	n := MustNode(45)
+	if math.Abs(n.LeakagePower(200)/n.LeakagePower(100)-2) > 1e-9 {
+		t.Error("leakage should be linear in transistor width")
+	}
+	if n.LeakagePower(0) != 0 {
+		t.Error("zero width should leak nothing")
+	}
+}
+
+func TestPropertiesViaQuick(t *testing.T) {
+	// Property: for any node in range, all physical parameters are positive.
+	f := func(raw uint16) bool {
+		nm := 22 + float64(raw%6800)/100 // [22, 90)
+		n, err := ForNode(nm)
+		if err != nil {
+			return false
+		}
+		return n.Vdd > 0 && n.CGatePerUm > 0 && n.ISubPerUm > 0 &&
+			n.SRAMCellUM2 > 0 && n.LogicGateUM2 > 0 && n.LeakagePerMM2 > 0 &&
+			n.WireCPerMM > 0 && n.WireRPerMM > 0 && n.MinWidthUm() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwitchEnergyNonNegativeQuick(t *testing.T) {
+	n := MustNode(40)
+	f := func(capPF uint32) bool {
+		c := float64(capPF) * 1e-15
+		return n.SwitchEnergy(c) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFO4Positive(t *testing.T) {
+	if MustNode(40).FO4DelaySeconds() <= 0 {
+		t.Error("FO4 delay must be positive")
+	}
+	if MustNode(22).FO4DelaySeconds() >= MustNode(90).FO4DelaySeconds() {
+		t.Error("FO4 delay should shrink with feature size")
+	}
+}
+
+func TestMustNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNode(5) should panic")
+		}
+	}()
+	MustNode(5)
+}
