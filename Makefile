@@ -1,0 +1,31 @@
+# GPUSimPow reproduction — build/test/benchmark entry points.
+#
+# `make ci` is the gate every change must pass: vet, build, and the full
+# test suite under the race detector (load-bearing since the experiment
+# sweeps fan out over internal/runner's worker pool).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench baseline
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick benchmark pass over the whole harness (one iteration each).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=NONE .
+
+# Regenerate BENCH_BASELINE.json (see docs/PERFORMANCE.md).
+baseline:
+	./scripts/bench_baseline.sh

@@ -162,10 +162,26 @@ func BenchmarkAblationCoreCount(b *testing.B) {
 	}
 }
 
-// benchSimulate measures simulator throughput for one benchmark on one GPU.
+// benchSimulate measures simulator throughput for one benchmark on one GPU
+// with the default event-driven fast-forward clock loop.
 func benchSimulate(b *testing.B, gpu func() *config.GPU, name string) {
 	b.Helper()
-	simr, err := core.New(gpu())
+	benchSimulateCfg(b, gpu(), name)
+}
+
+// benchSimulateDense measures the same simulation with the dense
+// tick-every-cycle loop, quantifying the fast-forward speedup (the two modes
+// are bit-identical in results; see the sim package's equivalence tests).
+func benchSimulateDense(b *testing.B, gpu func() *config.GPU, name string) {
+	b.Helper()
+	cfg := gpu()
+	cfg.DenseClock = true
+	benchSimulateCfg(b, cfg, name)
+}
+
+func benchSimulateCfg(b *testing.B, cfg *config.GPU, name string) {
+	b.Helper()
+	simr, err := core.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -196,6 +212,12 @@ func BenchmarkSimBlackScholesGT240(b *testing.B) { benchSimulate(b, config.GT240
 func BenchmarkSimMatrixMulGTX580(b *testing.B)   { benchSimulate(b, config.GTX580, "matrixMul") }
 func BenchmarkSimBFSGTX580(b *testing.B)         { benchSimulate(b, config.GTX580, "bfs") }
 func BenchmarkSimMergeSortGT240(b *testing.B)    { benchSimulate(b, config.GT240, "mergeSort") }
+
+// Dense-clock counterparts: the same simulations with fast-forward disabled.
+func BenchmarkSimBlackScholesGT240Dense(b *testing.B) {
+	benchSimulateDense(b, config.GT240, "BlackScholes")
+}
+func BenchmarkSimBFSGTX580Dense(b *testing.B) { benchSimulateDense(b, config.GTX580, "bfs") }
 
 // BenchmarkDVFSSweep runs the frequency/energy study on the virtual GT240.
 func BenchmarkDVFSSweep(b *testing.B) {

@@ -1,0 +1,3 @@
+module gpusimpow
+
+go 1.24.0

@@ -91,6 +91,13 @@ type GPU struct {
 	// PCIe interface.
 	PCIeLanes int `xml:"pcieLanes"`
 
+	// DenseClock disables the simulator's event-driven fast-forward and
+	// forces the classic tick-every-cycle clock loop. The two modes are
+	// bit-identical in every activity counter and in the functional memory
+	// image (asserted by the sim package's equivalence tests); dense mode
+	// exists for debugging and for benchmarking the fast-forward speedup.
+	DenseClock bool `xml:"denseClock,omitempty"`
+
 	Power PowerCal `xml:"power"`
 }
 

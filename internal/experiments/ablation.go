@@ -6,6 +6,7 @@ import (
 	"gpusimpow/internal/config"
 	"gpusimpow/internal/core"
 	"gpusimpow/internal/kernel"
+	"gpusimpow/internal/runner"
 )
 
 // ---------------------------------------------------------------------------
@@ -65,12 +66,14 @@ func ablationKernel(cfg *config.GPU) (*kernel.Launch, *kernel.GlobalMem) {
 	}, mem
 }
 
-func runVariant(name string, cfg *config.GPU) (AblationRow, error) {
+// runVariant simulates one configuration variant on the workload kernelFn
+// builds and condenses the outcome into an AblationRow.
+func runVariant(name string, cfg *config.GPU, kernelFn func(*config.GPU) (*kernel.Launch, *kernel.GlobalMem)) (AblationRow, error) {
 	simr, err := core.New(cfg)
 	if err != nil {
 		return AblationRow{}, err
 	}
-	l, mem := ablationKernel(cfg)
+	l, mem := kernelFn(cfg)
 	rep, err := simr.RunKernel(l, mem, nil)
 	if err != nil {
 		return AblationRow{}, err
@@ -107,27 +110,7 @@ func AblationL2() ([]AblationRow, error) {
 	no := config.GTX580()
 	no.Name = "GTX580-noL2"
 	no.L2KB = 0
-	var rows []AblationRow
-	for _, v := range []namedCfg{{"768KB L2 (GTX580)", base}, {"no L2", no}} {
-		simr, err := core.New(v.cfg)
-		if err != nil {
-			return nil, err
-		}
-		l, mem := l2ReuseKernel(v.cfg)
-		rep, err := simr.RunKernel(l, mem, nil)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: variant %s: %w", v.name, err)
-		}
-		p := rep.Power
-		row := AblationRow{
-			Variant: v.name, Cycles: rep.Perf.Activity.Cycles,
-			TotalW: p.TotalW, DynamicW: p.DynamicW, StaticW: p.StaticW,
-			EnergyMJ: p.TotalW * p.Seconds * 1e3,
-		}
-		row.EDPnJs = row.EnergyMJ * p.Seconds * 1e3
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return runVariantsOn([]namedCfg{{"768KB L2 (GTX580)", base}, {"no L2", no}}, l2ReuseKernel)
 }
 
 // l2ReuseKernel: every block gathers pseudo-randomly from one shared array,
@@ -221,14 +204,21 @@ type namedCfg struct {
 	cfg  *config.GPU
 }
 
+// runVariants fans the variants out over the worker pool on the standard
+// ablation workload; rows come back in variant order.
 func runVariants(vs []namedCfg) ([]AblationRow, error) {
-	rows := make([]AblationRow, 0, len(vs))
-	for _, v := range vs {
-		row, err := runVariant(v.name, v.cfg)
+	return runVariantsOn(vs, ablationKernel)
+}
+
+// runVariantsOn runs every variant on the workload kernelFn builds. Each
+// variant owns its configuration, simulator and memory image, so the jobs
+// are independent and safe to run concurrently.
+func runVariantsOn(vs []namedCfg, kernelFn func(*config.GPU) (*kernel.Launch, *kernel.GlobalMem)) ([]AblationRow, error) {
+	return runner.Map(len(vs), func(i int) (AblationRow, error) {
+		row, err := runVariant(vs[i].name, vs[i].cfg, kernelFn)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: variant %s: %w", v.name, err)
+			return AblationRow{}, fmt.Errorf("experiments: variant %s: %w", vs[i].name, err)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"gpusimpow/internal/config"
 	"gpusimpow/internal/hw"
+	"gpusimpow/internal/runner"
 )
 
 // ---------------------------------------------------------------------------
@@ -33,34 +36,41 @@ type DVFSResult struct {
 }
 
 // DVFS measures a compute-bound kernel across clock scales on the virtual
-// GT240.
+// GT240. Each operating point runs on its own card instance (the silicon
+// perturbation is seeded by the card name, so every instance is the same
+// "board"), which makes the points independent jobs for the worker pool.
 func DVFS() (*DVFSResult, error) {
-	card, err := hw.NewCard(config.GT240())
-	if err != nil {
-		return nil, err
-	}
-	res := &DVFSResult{MinEnergyScale: 1}
-	best := 0.0
-	for _, s := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
-		if err := card.SetClockScale(s); err != nil {
-			return nil, err
+	scales := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	points, err := runner.Map(len(scales), func(i int) (DVFSPoint, error) {
+		card, err := hw.NewCardSession(config.GT240(), fmt.Sprintf("dvfs/%.1f", scales[i]))
+		if err != nil {
+			return DVFSPoint{}, err
+		}
+		if err := card.SetClockScale(scales[i]); err != nil {
+			return DVFSPoint{}, err
 		}
 		l, mem := microFPBusy(card)
 		m, err := card.MeasureKernel(l, mem, nil, 0)
 		if err != nil {
-			return nil, err
+			return DVFSPoint{}, err
 		}
-		pt := DVFSPoint{
-			ClockScale:    s,
+		return DVFSPoint{
+			ClockScale:    scales[i],
 			PowerW:        m.AvgPowerW,
 			KernelSeconds: m.TrueKernelSeconds,
 			EnergyMJ:      m.AvgPowerW * m.TrueKernelSeconds * 1e3,
-		}
-		res.Points = append(res.Points, pt)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &DVFSResult{Points: points, MinEnergyScale: 1}
+	best := 0.0
+	for _, pt := range points {
 		if best == 0 || pt.EnergyMJ < best {
 			best = pt.EnergyMJ
-			res.MinEnergyScale = s
+			res.MinEnergyScale = pt.ClockScale
 		}
 	}
-	return res, card.SetClockScale(1.0)
+	return res, nil
 }

@@ -9,6 +9,7 @@ import (
 	"gpusimpow/internal/config"
 	"gpusimpow/internal/core"
 	"gpusimpow/internal/hw"
+	"gpusimpow/internal/runner"
 )
 
 // Fig6Bar is one bar pair of Figure 6: one kernel's simulated and measured
@@ -54,21 +55,30 @@ type Fig6Result struct {
 	OverestimatedFraction float64
 }
 
+// fig6Agg is the per-kernel aggregate one benchmark job contributes.
+type fig6Agg struct {
+	name                string
+	simTotal, measTotal float64
+	n                   int
+	short               bool
+}
+
 // Fig6 runs the full validation of Figure 6 for the named GPU ("GT240" for
 // 6a, "GTX580" for 6b): every Table I + needle kernel is simulated with
 // GPUSimPow and measured on the virtual card, and per-kernel relative errors
-// are aggregated.
+// are aggregated. The benchmarks are independent of one another (each job
+// builds its own simulator, card and memory image; only the launches within
+// one benchmark share state), so they fan out over the runner's worker pool.
 func Fig6(gpuName string) (*Fig6Result, error) {
 	mk, ok := config.Presets()[gpuName]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown GPU %q", gpuName)
 	}
-	cfg := mk()
-	simr, err := core.New(cfg)
+	simr, err := core.New(mk())
 	if err != nil {
 		return nil, err
 	}
-	card, err := hw.NewCard(cfg)
+	card, err := hw.NewCard(mk())
 	if err != nil {
 		return nil, err
 	}
@@ -81,62 +91,29 @@ func Fig6(gpuName string) (*Fig6Result, error) {
 	}
 	simStatic := simr.Static().StaticW
 
-	type agg struct {
-		simTotal, measTotal float64
-		n                   int
-		short               bool
+	suite := bench.Suite()
+	perBench, err := runner.Map(len(suite), func(i int) ([]fig6Agg, error) {
+		return fig6Benchmark(mk, suite[i])
+	})
+	if err != nil {
+		return nil, err
 	}
-	perKernel := map[string]*agg{}
+
+	// Deterministic merge in suite order (runner.Map preserves indices).
+	perKernel := map[string]*fig6Agg{}
 	var order []string
-
-	for _, f := range bench.Suite() {
-		// Simulator side.
-		simInst, err := f.Make()
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", f.Name, err)
-		}
-		for _, r := range simInst.Runs {
-			rep, err := simr.RunKernel(r.Launch, simInst.Mem, r.CMem)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: simulating %s/%s: %w", f.Name, r.Name, err)
-			}
-			a := perKernel[r.Name]
+	for _, aggs := range perBench {
+		for _, ka := range aggs {
+			a := perKernel[ka.name]
 			if a == nil {
-				a = &agg{}
-				perKernel[r.Name] = a
-				order = append(order, r.Name)
+				a = &fig6Agg{name: ka.name}
+				perKernel[ka.name] = a
+				order = append(order, ka.name)
 			}
-			a.simTotal += rep.Power.TotalW + rep.Power.DRAMW
-			a.n++
-		}
-		if err := simInst.Verify(); err != nil {
-			return nil, fmt.Errorf("experiments: %s failed verification on the simulator: %w", f.Name, err)
-		}
-
-		// Hardware side: a fresh instance measured kernel by kernel.
-		hwInst, err := f.Make()
-		if err != nil {
-			return nil, err
-		}
-		items := make([]hw.SeqItem, len(hwInst.Runs))
-		for i, r := range hwInst.Runs {
-			items[i] = hw.SeqItem{Launch: r.Launch, Mem: hwInst.Mem, CMem: r.CMem, GapS: 0.01}
-			if r.MaxRepeats > 0 {
-				items[i].Repeats = r.MaxRepeats
-			} else {
-				items[i].MinWindowS = measureWindowS
-			}
-		}
-		_, ms, err := card.MeasureSequence(items)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: measuring %s: %w", f.Name, err)
-		}
-		for i, m := range ms {
-			a := perKernel[hwInst.Runs[i].Name]
-			a.measTotal += m.AvgPowerW
-			if m.ShortWindow && hwInst.Runs[i].MaxRepeats > 0 {
-				a.short = true
-			}
+			a.simTotal += ka.simTotal
+			a.measTotal += ka.measTotal
+			a.n += ka.n
+			a.short = a.short || ka.short
 		}
 	}
 
@@ -176,6 +153,81 @@ func Fig6(gpuName string) (*Fig6Result, error) {
 	res.DynAvgRelErrPct = sumDynErr / n
 	res.OverestimatedFraction = float64(over) / n
 	return res, nil
+}
+
+// fig6Benchmark simulates and measures one benchmark end to end: the
+// simulator side on a fresh GPUSimPow instance, the hardware side on a fresh
+// virtual card (same silicon — cards are seeded by name — so results stay
+// deterministic regardless of worker interleaving).
+func fig6Benchmark(mk func() *config.GPU, f bench.Factory) ([]fig6Agg, error) {
+	simr, err := core.New(mk())
+	if err != nil {
+		return nil, err
+	}
+	// Same card, per-benchmark measurement session: identical silicon and
+	// rig calibration, independent DAQ noise (not a replay of one stream).
+	card, err := hw.NewCardSession(mk(), "fig6/"+f.Name)
+	if err != nil {
+		return nil, err
+	}
+
+	perKernel := map[string]*fig6Agg{}
+	var order []string
+
+	// Simulator side.
+	simInst, err := f.Make()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", f.Name, err)
+	}
+	for _, r := range simInst.Runs {
+		rep, err := simr.RunKernel(r.Launch, simInst.Mem, r.CMem)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: simulating %s/%s: %w", f.Name, r.Name, err)
+		}
+		a := perKernel[r.Name]
+		if a == nil {
+			a = &fig6Agg{name: r.Name}
+			perKernel[r.Name] = a
+			order = append(order, r.Name)
+		}
+		a.simTotal += rep.Power.TotalW + rep.Power.DRAMW
+		a.n++
+	}
+	if err := simInst.Verify(); err != nil {
+		return nil, fmt.Errorf("experiments: %s failed verification on the simulator: %w", f.Name, err)
+	}
+
+	// Hardware side: a fresh instance measured kernel by kernel.
+	hwInst, err := f.Make()
+	if err != nil {
+		return nil, err
+	}
+	items := make([]hw.SeqItem, len(hwInst.Runs))
+	for i, r := range hwInst.Runs {
+		items[i] = hw.SeqItem{Launch: r.Launch, Mem: hwInst.Mem, CMem: r.CMem, GapS: 0.01}
+		if r.MaxRepeats > 0 {
+			items[i].Repeats = r.MaxRepeats
+		} else {
+			items[i].MinWindowS = measureWindowS
+		}
+	}
+	_, ms, err := card.MeasureSequence(items)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: measuring %s: %w", f.Name, err)
+	}
+	for i, m := range ms {
+		a := perKernel[hwInst.Runs[i].Name]
+		a.measTotal += m.AvgPowerW
+		if m.ShortWindow && hwInst.Runs[i].MaxRepeats > 0 {
+			a.short = true
+		}
+	}
+
+	out := make([]fig6Agg, 0, len(order))
+	for _, name := range order {
+		out = append(out, *perKernel[name])
+	}
+	return out, nil
 }
 
 // measuredStaticFor applies the per-card static estimation methodology:

@@ -46,6 +46,16 @@ type Card struct {
 // perturbation is seeded by the card name: the same card model always
 // measures the same.
 func NewCard(cfg *config.GPU) (*Card, error) {
+	return NewCardSession(cfg, "")
+}
+
+// NewCardSession manufactures the same virtual card — identical silicon and
+// identical rig calibration (both are seeded by the card name) — but with a
+// DAQ noise stream derived from the session tag. Concurrent measurement
+// jobs (the experiment sweeps fanning out over internal/runner) use
+// distinct tags so their sample noise is independent rather than a replay
+// of one shared stream, while results stay deterministic for a given tag.
+func NewCardSession(cfg *config.GPU, session string) (*Card, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -59,13 +69,17 @@ func NewCard(cfg *config.GPU) (*Card, error) {
 		return nil, err
 	}
 	r := newRNG(seedFromString(cfg.Name + "/rig"))
+	ch := newChain(r, cfg.NumCores() > 12) // big cards have external power
+	if session != "" {
+		ch.retuneNoise(newRNG(seedFromString(cfg.Name + "/rig/" + session)))
+	}
 	return &Card{
 		name:       cfg.Name,
 		cfg:        cfg,
 		truth:      truth,
 		perf:       perf,
 		model:      model,
-		chain:      newChain(r, cfg.NumCores() > 12), // big cards have external power
+		chain:      ch,
 		clockScale: 1,
 		capTauS:    1.5e-3,
 	}, nil

@@ -34,7 +34,9 @@ type chain struct {
 
 // newChain builds the measurement chain. Cards with external PCIe power
 // connectors (GTX580) split the load across slot and cable rails; low-power
-// cards (GT240) draw everything through the slot.
+// cards (GT240) draw everything through the slot. The rng seeds both the
+// fixed calibration errors and the ongoing sample noise; use retuneNoise to
+// give a chain an independent noise stream while keeping its calibration.
 func newChain(r *rng, hasExternalPower bool) *chain {
 	mk := func(name string, share float64) rail {
 		return rail{
@@ -62,6 +64,11 @@ func newChain(r *rng, hasExternalPower bool) *chain {
 	}
 	return &chain{rails: rails, noise: r}
 }
+
+// retuneNoise replaces the chain's DAQ noise stream without touching the
+// rails' fixed calibration errors: the same physical rig, observed in a
+// different measurement session.
+func (c *chain) retuneNoise(r *rng) { c.noise = r }
 
 // measure converts the card's true instantaneous power draw into the power
 // the DAQ-based tool reports for one sample: per-rail gain errors, offsets

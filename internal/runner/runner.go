@@ -1,0 +1,87 @@
+// Package runner provides the bounded-parallelism fan-out used by the
+// experiment sweeps. The paper's headline artifacts — Figure 6's 19 kernels
+// × 2 GPUs, the design-choice ablations, the DVFS sweep — are embarrassingly
+// parallel: every (configuration, kernel) simulation is independent. The
+// runner executes such jobs across a GOMAXPROCS-sized worker pool while
+// keeping results (and the reported error) deterministic: results are
+// returned in index order, and the error of the lowest-index failing job
+// wins regardless of completion order.
+//
+// Jobs must not share mutable state. In this codebase that means each job
+// builds its own simulator (core.New), virtual card (hw.NewCard) and
+// benchmark instance; configurations returned by config presets are fresh
+// per call and safe to use within one job.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(0) … fn(n-1) on a worker pool sized min(n, GOMAXPROCS) and
+// returns the results in index order. Every job runs to completion even if
+// another job fails; if any jobs failed, the error of the lowest-index
+// failure is returned alongside the full result slice.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapN(0, n, fn)
+}
+
+// MapN is Map with an explicit worker count. workers <= 0 selects
+// min(n, GOMAXPROCS).
+func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	if workers == 1 {
+		// Degenerate pool: run inline, sparing the goroutine machinery (and
+		// keeping single-CPU traces identical to the serial code).
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+		return results, firstError(errs)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstError(errs)
+}
+
+// ForEach is Map for jobs with no result value.
+func ForEach(n int, fn func(i int) error) error {
+	_, err := Map(n, func(i int) (struct{}, error) { return struct{}{}, fn(i) })
+	return err
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

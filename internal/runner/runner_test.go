@@ -1,0 +1,84 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	const n = 1000
+	got, err := Map(n, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("got %d results, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d (index order violated)", i, v, i*i)
+		}
+	}
+}
+
+func TestMapDeterministicError(t *testing.T) {
+	// Jobs 700 and 13 both fail; the lowest index must win no matter which
+	// worker finishes first.
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(1000, func(i int) (int, error) {
+			if i == 700 || i == 13 {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 13 failed" {
+			t.Fatalf("trial %d: got error %v, want job 13's", trial, err)
+		}
+	}
+}
+
+func TestMapAllJobsRunDespiteFailure(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(100, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("only %d of 100 jobs ran", ran.Load())
+	}
+}
+
+func TestMapNWorkerClamping(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 64} {
+		got, err := MapN(workers, 10, func(i int) (int, error) { return i, nil })
+		if err != nil || len(got) != 10 {
+			t.Fatalf("workers=%d: len=%d err=%v", workers, len(got), err)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || got != nil {
+		t.Fatalf("empty map: %v %v", got, err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(100, func(i int) error { sum.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+}

@@ -76,12 +76,13 @@ type Activity struct {
 	PCIeBytes uint64 // kernel launch + parameter traffic
 
 	// --- Occupancy (for base power and static gating) ---
-	CoreBusyCycles    []uint64 // per core: cycles with resident warps
-	ClusterBusyCycles []uint64 // per cluster: cycles with any busy core
-	GlobalSchedCycles uint64   // cycles the global block scheduler is active
-	BlocksLaunched    uint64
-	WarpsLaunched     uint64
-	ThreadsLaunched   uint64
+	CoreBusyCycles     []uint64 // per core: cycles with resident warps
+	ClusterBusyCycles  []uint64 // per cluster: cycles with any busy core
+	GlobalSchedCycles  uint64   // cycles the global block scheduler is active
+	ResidentWarpCycles uint64   // integral of resident warps over cycles, all cores
+	BlocksLaunched     uint64
+	WarpsLaunched      uint64
+	ThreadsLaunched    uint64
 }
 
 // Result bundles the activity with headline performance numbers.

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"gpusimpow/internal/config"
@@ -20,18 +19,49 @@ type wbEvent struct {
 	lanes int
 }
 
+// wbHeap is a min-heap of writeback events ordered by cycle. The sift
+// operations are implemented directly (rather than through container/heap)
+// so pushes and pops stay free of interface boxing on the issue hot path.
 type wbHeap []wbEvent
 
-func (h wbHeap) Len() int            { return len(h) }
-func (h wbHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
-func (h wbHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *wbHeap) Push(x interface{}) { *h = append(*h, x.(wbEvent)) }
-func (h *wbHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *wbHeap) push(ev wbEvent) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].cycle <= q[i].cycle {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+}
+
+func (h *wbHeap) pop() wbEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q[l].cycle < q[min].cycle {
+			min = l
+		}
+		if r < n && q[r].cycle < q[min].cycle {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
 }
 
 // blockRt is a thread block resident on a core.
@@ -94,7 +124,14 @@ type coreState struct {
 	ccache *cache.Cache
 	tcache *cache.Cache // texture cache; nil when absent
 
-	scratch []uint8 // reusable register list
+	// Reusable per-core scratch buffers: these keep the fetch/issue/memory
+	// hot path free of per-cycle allocations.
+	scratch  []uint8  // register list (scoreboard checks, RF accounting)
+	segBuf   []uint32 // coalesced segment bases
+	addrBuf  []uint32 // distinct constant addresses
+	lineBuf  []uint32 // distinct texture lines
+	tlActive []int    // two-level scheduler active set
+	tlPend   []int    // two-level scheduler pending set
 }
 
 func newCoreState(id int, cfg *config.GPU) (*coreState, error) {
@@ -146,6 +183,15 @@ func newCoreState(id int, cfg *config.GPU) (*coreState, error) {
 
 // residentWarps reports whether the core has any work.
 func (c *coreState) residentWarps() bool { return c.freeWarps < len(c.slots) }
+
+// nextEventCycle returns the cycle of the core's earliest pending writeback,
+// or the maximum uint64 when none is in flight.
+func (c *coreState) nextEventCycle() uint64 {
+	if len(c.events) == 0 {
+		return ^uint64(0)
+	}
+	return c.events[0].cycle
+}
 
 // residentBlocks returns the number of blocks on the core.
 func (c *coreState) residentBlocks() int { return len(c.blocks) }
@@ -211,10 +257,13 @@ func (c *coreState) retire(b *blockRt, smemBytes, regs int) {
 	}
 }
 
-// drainEvents applies writebacks due at the current cycle.
-func (c *coreState) drainEvents(now uint64, a *Activity) {
+// drainEvents applies writebacks due at the current cycle and returns how
+// many events it drained.
+func (c *coreState) drainEvents(now uint64, a *Activity) int {
+	drained := 0
 	for len(c.events) > 0 && c.events[0].cycle <= now {
-		ev := heap.Pop(&c.events).(wbEvent)
+		ev := c.events.pop()
+		drained++
 		sl := &c.slots[ev.slot]
 		if !sl.active {
 			continue // block already retired (possible only after errors)
@@ -235,15 +284,22 @@ func (c *coreState) drainEvents(now uint64, a *Activity) {
 			}
 		}
 	}
+	return drained
 }
 
 // fetchStage models instruction fetch + decode: up to Schedulers warps per
-// cycle refill their instruction buffer slot.
-func (c *coreState) fetchStage(now uint64, a *Activity) {
+// cycle refill their instruction buffer slot. It returns the fetch count.
+func (c *coreState) fetchStage(now uint64, a *Activity) int {
 	n := len(c.slots)
 	fetched := 0
 	for scan := 0; scan < n && fetched < c.cfg.Schedulers; scan++ {
-		i := (c.fetchRR + scan) % n
+		// i derives from the *current* fetchRR each iteration (so a
+		// successful fetch advances the whole scan window) — the reduction
+		// replaces the original modulo, everything else is seed behaviour.
+		i := c.fetchRR + scan
+		if i >= n {
+			i -= n
+		}
 		sl := &c.slots[i]
 		if !sl.active || sl.ibValid || sl.w.Finished || sl.w.AtBarrier {
 			continue
@@ -256,8 +312,12 @@ func (c *coreState) fetchStage(now uint64, a *Activity) {
 		a.WSTReads++
 		a.WSTWrites++
 		a.IBufWrites++
-		c.fetchRR = (i + 1) % n
+		c.fetchRR = i + 1
+		if c.fetchRR == n {
+			c.fetchRR = 0
+		}
 	}
+	return fetched
 }
 
 // hazard reports whether the instruction at the warp's PC has a register
@@ -298,6 +358,21 @@ func (c *coreState) unitFree(class kernel.Class, sched int, now uint64) bool {
 	}
 }
 
+// unitFreeAt returns the cycle the instruction class's unit accepts the next
+// warp — the wake-up time of a warp blocked only structurally.
+func (c *coreState) unitFreeAt(class kernel.Class, sched int) uint64 {
+	switch class {
+	case kernel.ClassInt, kernel.ClassFP:
+		return c.spFree[sched]
+	case kernel.ClassSFU:
+		return c.sfuFree
+	case kernel.ClassMem:
+		return c.ldstFree
+	default:
+		return 0
+	}
+}
+
 // issueStage arbitrates and issues up to one instruction per scheduler,
 // considering warps in the order the configured scheduling policy dictates.
 func (g *gpuSim) issueStage(c *coreState, now uint64) error {
@@ -322,6 +397,12 @@ func (g *gpuSim) issueStage(c *coreState, now uint64) error {
 			}
 			class := kernel.ClassOf(in.Op)
 			if !c.unitFree(class, sched, now) {
+				// Hazard-free but structurally blocked: the warp becomes
+				// issuable the moment the unit frees, so the fast-forward
+				// must not jump past that point.
+				if t := c.unitFreeAt(class, sched); t < g.structNext {
+					g.structNext = t
+				}
 				continue
 			}
 			if err := g.issueInstr(c, sl, i, sched, in, class, now); err != nil {
@@ -346,6 +427,7 @@ func (g *gpuSim) issueInstr(c *coreState, sl *warpSlot, slotIdx, sched int, in *
 		return fmt.Errorf("core %d slot %d: %w", c.id, slotIdx, err)
 	}
 
+	g.progress = true
 	sl.ibValid = false
 	a.IssuedInstrs++
 	a.IBufReads++
@@ -418,7 +500,7 @@ func (g *gpuSim) issueInstr(c *coreState, sl *warpSlot, slotIdx, sched int, in *
 
 	if class == kernel.ClassCtrl && !hasWB {
 		// Control instructions complete immediately; no pipeline slot held.
-		g.maybeRetireBlock(c, sl.block)
+		g.retireIfDone(c, sl.block)
 		return nil
 	}
 
@@ -432,7 +514,7 @@ func (g *gpuSim) issueInstr(c *coreState, sl *warpSlot, slotIdx, sched int, in *
 	if isMem {
 		sl.memPending++
 	}
-	heap.Push(&c.events, wbEvent{cycle: now + latency, slot: slotIdx, reg: in.Dst, hasWB: hasWB, isMem: isMem, lanes: lanes})
+	c.events.push(wbEvent{cycle: now + latency, slot: slotIdx, reg: in.Dst, hasWB: hasWB, isMem: isMem, lanes: lanes})
 	return nil
 }
 
@@ -459,7 +541,8 @@ func (g *gpuSim) memAccess(c *coreState, in *kernel.Instr, info *kernel.StepInfo
 		return uint64(cfg.SMemLatency) + uint64(extra), nil
 
 	case kernel.SpaceConst, kernel.SpaceParam:
-		addrs := constDistinctAddrs(info)
+		addrs := constDistinctAddrs(info, c.addrBuf[:0])
+		c.addrBuf = addrs
 		a.ConstReads += uint64(len(addrs))
 		worst := uint64(cfg.SMemLatency)
 		for _, ad := range addrs {
@@ -479,17 +562,29 @@ func (g *gpuSim) memAccess(c *coreState, in *kernel.Instr, info *kernel.StepInfo
 		if c.tcache == nil {
 			return 0, fmt.Errorf("sim: texture access on %s, which has no texture cache configured", cfg.Name)
 		}
-		// Per-lane addresses collapse to distinct cache lines; hits are
+		// Per-lane addresses collapse to distinct cache lines (deduplicated
+		// in lane order, so cache behaviour is deterministic); hits are
 		// served at L1-like latency, misses fetch the line from memory.
-		lines := map[uint32]struct{}{}
+		lines := c.lineBuf[:0]
 		for l := 0; l < kernel.WarpSize; l++ {
 			if info.ExecMask&(1<<l) == 0 {
 				continue
 			}
-			lines[info.Addrs[l]&^uint32(cfg.TexLineB-1)] = struct{}{}
+			line := info.Addrs[l] &^ uint32(cfg.TexLineB-1)
+			dup := false
+			for _, seen := range lines {
+				if seen == line {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				lines = append(lines, line)
+			}
 		}
+		c.lineBuf = lines
 		worst := uint64(cfg.SMemLatency) + 12 // TMU addressing + filtering pipe
-		for line := range lines {
+		for _, line := range lines {
 			a.TexReads++
 			if res := c.tcache.Access(uint64(line), false); !res.Hit {
 				a.TexMisses++
@@ -504,7 +599,8 @@ func (g *gpuSim) memAccess(c *coreState, in *kernel.Instr, info *kernel.StepInfo
 
 	case kernel.SpaceGlobal:
 		write := in.Op == kernel.OpSt
-		segs := coalesce(info)
+		segs := coalesce(info, c.segBuf[:0])
+		c.segBuf = segs
 		a.CoalescerQueries++
 		a.CoalescedReqs += uint64(len(segs))
 		a.PRTWrites += uint64(len(segs))

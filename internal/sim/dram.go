@@ -91,6 +91,19 @@ func (d *dramSys) access(now uint64, addr uint32, segBytes int, write bool, a *A
 	return start + service + d.backLat
 }
 
+// nextEventCycle returns the earliest in-flight completion (bus-free time
+// plus return latency) across channels that are still busy after now, or the
+// maximum uint64 when every channel is drained.
+func (d *dramSys) nextEventCycle(now uint64) uint64 {
+	next := ^uint64(0)
+	for _, nf := range d.nextFree {
+		if nf > now && nf+d.backLat < next {
+			next = nf + d.backLat
+		}
+	}
+	return next
+}
+
 // totalBusy returns the summed channel busy cycles.
 func (d *dramSys) totalBusy() uint64 {
 	var t uint64

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"gpusimpow/internal/config"
 	"gpusimpow/internal/kernel"
@@ -99,6 +98,15 @@ func (m *memSys) globalSegment(now uint64, addr uint32, segBytes int, write bool
 	return done
 }
 
+// nextEventCycle returns the earliest cycle at which the memory system
+// completes in-flight work after now, or the maximum uint64 when idle. The
+// memory model resolves each request's completion eagerly at issue time (the
+// core-side writeback heaps carry the dependency events), so this only
+// bounds how far the fast-forward may jump while DRAM channels still drain.
+func (m *memSys) nextEventCycle(now uint64) uint64 {
+	return m.dram.nextEventCycle(now)
+}
+
 // finalize drains dirty L2 state at kernel end: lines written during the
 // kernel ultimately reach DRAM, so the flush traffic is charged to the
 // kernel's DRAM command counts.
@@ -116,24 +124,36 @@ func (m *memSys) finalize(a *Activity) {
 }
 
 // coalesce groups the active lanes' byte addresses into aligned segments.
-// It returns the distinct segment base addresses, mirroring the input queue /
-// pending request table / FSM structure of the coalescing patent: the goal is
-// "to service the addresses requested by the memory access in as few memory
-// requests as possible".
-func coalesce(info *kernel.StepInfo) []uint32 {
-	var segs []uint32
-	seen := make(map[uint32]struct{}, 4)
+// It appends the distinct segment base addresses to buf (sorted ascending),
+// mirroring the input queue / pending request table / FSM structure of the
+// coalescing patent: the goal is "to service the addresses requested by the
+// memory access in as few memory requests as possible". The caller passes a
+// reusable buffer; with at most WarpSize segments per warp access, linear
+// dedup plus insertion sort beats a map without allocating.
+func coalesce(info *kernel.StepInfo, buf []uint32) []uint32 {
+	segs := buf
 	for l := 0; l < kernel.WarpSize; l++ {
 		if info.ExecMask&(1<<l) == 0 {
 			continue
 		}
 		base := info.Addrs[l] &^ (segmentBytes - 1)
-		if _, ok := seen[base]; !ok {
-			seen[base] = struct{}{}
+		dup := false
+		for _, s := range segs {
+			if s == base {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			segs = append(segs, base)
 		}
 	}
-	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	// Insertion sort: ≤32 elements, usually already ordered (unit strides).
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j] < segs[j-1]; j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
 	return segs
 }
 
@@ -149,26 +169,43 @@ func smemExtraCycles(info *kernel.StepInfo, banks int) int {
 		group = kernel.WarpSize
 	}
 	extra := 0
-	perBank := make(map[int]map[uint32]struct{}, banks)
+	// Fixed-size stack scratch (a group never exceeds the warp width):
+	// addrs/bankOf collect the group's active lanes, firsts marks the first
+	// occurrence of each (bank, address) pair so equal addresses broadcast.
+	var addrs [kernel.WarpSize]uint32
+	var bankOf [kernel.WarpSize]int32
+	var firsts [kernel.WarpSize]bool
 	for g := 0; g < kernel.WarpSize; g += group {
-		for k := range perBank {
-			delete(perBank, k)
-		}
-		deg := 1
+		m := 0
 		for l := g; l < g+group && l < kernel.WarpSize; l++ {
 			if info.ExecMask&(1<<l) == 0 {
 				continue
 			}
-			addr := info.Addrs[l]
-			b := int(addr/4) % banks
-			set := perBank[b]
-			if set == nil {
-				set = make(map[uint32]struct{}, 2)
-				perBank[b] = set
+			addrs[m] = info.Addrs[l]
+			bankOf[m] = int32(int(info.Addrs[l]/4) % banks)
+			m++
+		}
+		deg := 1
+		for i := 0; i < m; i++ {
+			first := true
+			for j := 0; j < i; j++ {
+				if bankOf[j] == bankOf[i] && addrs[j] == addrs[i] {
+					first = false
+					break
+				}
 			}
-			set[addr] = struct{}{}
-			if len(set) > deg {
-				deg = len(set)
+			firsts[i] = first
+			if !first {
+				continue
+			}
+			cnt := 1
+			for j := 0; j < i; j++ {
+				if firsts[j] && bankOf[j] == bankOf[i] {
+					cnt++
+				}
+			}
+			if cnt > deg {
+				deg = cnt
 			}
 		}
 		extra += deg - 1
@@ -176,19 +213,26 @@ func smemExtraCycles(info *kernel.StepInfo, banks int) int {
 	return extra
 }
 
-// constDistinctAddrs counts the distinct addresses of a constant access:
-// "the number of generated constant cache accesses is equal to the number of
-// different addresses in the address bundle".
-func constDistinctAddrs(info *kernel.StepInfo) []uint32 {
-	seen := make(map[uint32]struct{}, 2)
-	var out []uint32
+// constDistinctAddrs collects the distinct addresses of a constant access
+// into the caller's reusable buffer, in lane order: "the number of generated
+// constant cache accesses is equal to the number of different addresses in
+// the address bundle".
+func constDistinctAddrs(info *kernel.StepInfo, buf []uint32) []uint32 {
+	out := buf
 	for l := 0; l < kernel.WarpSize; l++ {
 		if info.ExecMask&(1<<l) == 0 {
 			continue
 		}
-		if _, ok := seen[info.Addrs[l]]; !ok {
-			seen[info.Addrs[l]] = struct{}{}
-			out = append(out, info.Addrs[l])
+		addr := info.Addrs[l]
+		dup := false
+		for _, a := range out {
+			if a == addr {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, addr)
 		}
 	}
 	return out

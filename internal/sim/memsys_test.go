@@ -218,7 +218,7 @@ func TestCoalesceHelperProperties(t *testing.T) {
 		for l := 0; l < kernel.WarpSize; l++ {
 			info.Addrs[l] = addrSeed + uint32(l)*64
 		}
-		segs := coalesce(info)
+		segs := coalesce(info, nil)
 		// All segments must be 128-byte aligned and sorted ascending.
 		for i, s := range segs {
 			if s%segmentBytes != 0 {

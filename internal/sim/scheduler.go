@@ -54,8 +54,9 @@ func (g *gpuSim) candidateOrder(c *coreState, sched int, buf []int) []int {
 
 	case PolicyTwoLevel:
 		// Active set: the K oldest issuable warps not waiting on memory.
+		// The two sets live in reusable per-core buffers.
 		k := g.activeSet
-		var active, pending []int
+		active, pending := c.tlActive[:0], c.tlPend[:0]
 		for i := 0; i < n; i++ {
 			if !mine(i) || !issuable(&c.slots[i]) {
 				continue
@@ -84,12 +85,30 @@ func (g *gpuSim) candidateOrder(c *coreState, sched int, buf []int) []int {
 		for i := 0; i < len(active); i++ {
 			buf = append(buf, active[(start+i)%len(active)])
 		}
-		return append(buf, pending...)
+		buf = append(buf, pending...)
+		c.tlActive, c.tlPend = active, pending
+		return buf
 
 	default: // PolicyRR
-		for scan := 0; scan < n; scan++ {
-			i := (c.issueRR[sched] + scan) % n
-			if mine(i) && issuable(&c.slots[i]) {
+		// Hot path: visit only this scheduler's slots (i ≡ sched mod S),
+		// starting at the rotating priority pointer, without closure calls
+		// or per-step modulo. Order matches a full (issueRR+scan)%n sweep
+		// filtered to this scheduler's congruence class.
+		S := c.cfg.Schedulers
+		rr := c.issueRR[sched]
+		if rr >= n {
+			rr = 0
+		}
+		first := rr + ((sched-rr)%S+S)%S
+		for i := first; i < n; i += S {
+			sl := &c.slots[i]
+			if sl.active && sl.ibValid && !sl.w.Finished && !sl.w.AtBarrier {
+				buf = append(buf, i)
+			}
+		}
+		for i := sched; i < rr; i += S {
+			sl := &c.slots[i]
+			if sl.active && sl.ibValid && !sl.w.Finished && !sl.w.AtBarrier {
 				buf = append(buf, i)
 			}
 		}

@@ -46,6 +46,23 @@ type gpuSim struct {
 	blockRegs   int
 	blockDemand struct{ warps int }
 	retired     int
+
+	// Incrementally-maintained occupancy state (replaces the per-cycle
+	// cluster rescan): clusterCores[cl] counts cores in cluster cl with
+	// resident warps, clusterBlocks[cl] counts resident blocks, resident is
+	// the chip-wide resident-warp count. Updated at place/retire only.
+	clusterCores  []int
+	clusterBlocks []int
+	resident      int
+
+	// Fast-forward bookkeeping for one clock cycle: progress records whether
+	// any state transition happened (event drain, fetch, issue, dispatch,
+	// retire); structNext is the earliest cycle a structurally-blocked but
+	// otherwise issuable warp's unit frees; busyCores lists the cores that
+	// charged a busy cycle.
+	progress   bool
+	structNext uint64
+	busyCores  []int
 }
 
 // Run simulates one kernel launch and returns the activity and performance
@@ -71,6 +88,9 @@ func (g *GPU) Run(l *kernel.Launch, global *kernel.GlobalMem, cmem *kernel.Const
 	}
 	s.act.CoreBusyCycles = make([]uint64, cfg.NumCores())
 	s.act.ClusterBusyCycles = make([]uint64, cfg.Clusters)
+	s.clusterCores = make([]int, cfg.Clusters)
+	s.clusterBlocks = make([]int, cfg.Clusters)
+	s.busyCores = make([]int, 0, cfg.NumCores())
 
 	mem, err := newMemSys(cfg)
 	if err != nil {
@@ -106,44 +126,63 @@ func (g *GPU) Run(l *kernel.Launch, global *kernel.GlobalMem, cmem *kernel.Const
 	return s.result(), nil
 }
 
-// run is the main clock loop.
+// maxCycles is the per-kernel cycle budget; exceeding it means deadlock.
+const maxCycles = 1 << 34
+
+// run is the main clock loop. By default it is event-driven: whenever a
+// cycle makes no progress at all (no writeback drained, no warp fetched or
+// issued, no block dispatched or retired), the simulated state is a fixed
+// point until the next scheduled event, so the loop jumps straight to the
+// minimum over all cores' writeback-heap heads, the earliest structural-unit
+// free time with a waiter, and the memory system's next completion —
+// crediting the per-cycle activity counters for the skipped span in bulk.
+// The result is bit-identical to the dense tick-every-cycle loop (enforced
+// by TestFastForwardEquivalence); cfg.DenseClock forces the dense loop.
 func (s *gpuSim) run() error {
-	const maxCycles = 1 << 34
+	fastForward := !s.cfg.DenseClock
 	var cycle uint64
 	for {
+		s.progress = false
+		s.structNext = ^uint64(0)
 		s.dispatch(cycle)
 
+		// Snapshot the counters a quiescent cycle still advances, so a
+		// detected stall can be credited in bulk below.
+		arbs0, searches0 := s.act.SchedArbs, s.act.SBSearches
+
 		anyBusy := false
+		s.busyCores = s.busyCores[:0]
 		for _, c := range s.cores {
 			if !c.residentWarps() && len(c.events) == 0 {
 				continue
 			}
 			anyBusy = true
-			c.drainEvents(cycle, &s.act)
+			s.busyCores = append(s.busyCores, c.id)
+			if c.drainEvents(cycle, &s.act) > 0 {
+				s.progress = true
+			}
 			s.drainRetirements(c)
-			c.fetchStage(cycle, &s.act)
+			if c.fetchStage(cycle, &s.act) > 0 {
+				s.progress = true
+			}
 			if err := s.issueStage(c, cycle); err != nil {
 				return err
 			}
 			s.act.CoreBusyCycles[c.id]++
 		}
 
-		// Cluster occupancy for the base-power model.
-		for cl := 0; cl < s.cfg.Clusters; cl++ {
-			busy := false
-			for i := cl * s.cfg.CoresPerCluster; i < (cl+1)*s.cfg.CoresPerCluster; i++ {
-				if s.cores[i].residentWarps() {
-					busy = true
-					break
-				}
-			}
-			if busy {
+		// Cluster occupancy for the base-power model, from the
+		// incrementally-maintained per-cluster busy-core counts.
+		for cl, n := range s.clusterCores {
+			if n > 0 {
 				s.act.ClusterBusyCycles[cl]++
 			}
 		}
-		if s.nextBlock < s.totalBlocks || anyBusy {
+		schedActive := s.nextBlock < s.totalBlocks || anyBusy
+		if schedActive {
 			s.act.GlobalSchedCycles++
 		}
+		s.act.ResidentWarpCycles += uint64(s.resident)
 
 		cycle++
 		if !anyBusy && s.nextBlock >= s.totalBlocks {
@@ -152,9 +191,57 @@ func (s *gpuSim) run() error {
 		if cycle > maxCycles {
 			return fmt.Errorf("sim: cycle budget exceeded for kernel %s (deadlock?)", s.launch.Prog.Name)
 		}
+
+		if fastForward && !s.progress {
+			if target := s.nextEventCycle(cycle); target > cycle {
+				span := target - cycle
+				arbD := s.act.SchedArbs - arbs0
+				seaD := s.act.SBSearches - searches0
+				s.act.SchedArbs += span * arbD
+				s.act.SBSearches += span * seaD
+				for _, id := range s.busyCores {
+					s.act.CoreBusyCycles[id] += span
+				}
+				for cl, n := range s.clusterCores {
+					if n > 0 {
+						s.act.ClusterBusyCycles[cl] += span
+					}
+				}
+				if schedActive {
+					s.act.GlobalSchedCycles += span
+				}
+				s.act.ResidentWarpCycles += span * uint64(s.resident)
+				cycle = target
+			}
+		}
 	}
 	s.act.Cycles = cycle
 	return nil
+}
+
+// nextEventCycle returns the next cycle at which any simulated state can
+// change: the earliest pending writeback across the cores, the earliest
+// execution-unit free time a hazard-free warp is waiting on, and the memory
+// system's next in-flight completion. If nothing is pending anywhere the
+// machine is deadlocked, and the cycle budget is returned so the caller
+// reports it immediately instead of ticking 2^34 times first.
+func (s *gpuSim) nextEventCycle(now uint64) uint64 {
+	next := s.structNext
+	for _, c := range s.cores {
+		if n := c.nextEventCycle(); n < next {
+			next = n
+		}
+	}
+	if n := s.mem.nextEventCycle(now); n < next {
+		next = n
+	}
+	if next == ^uint64(0) {
+		return maxCycles + 1
+	}
+	if next < now {
+		return now
+	}
+	return next
 }
 
 // dispatch hands pending blocks to cores, filling empty clusters before
@@ -169,11 +256,7 @@ func (s *gpuSim) dispatch(cycle uint64) {
 			if !c.canAccept(s.blockDemand.warps, s.blockSMem, s.blockRegs) {
 				continue
 			}
-			clusterLoad := 0
-			for i := c.cluster * s.cfg.CoresPerCluster; i < (c.cluster+1)*s.cfg.CoresPerCluster; i++ {
-				clusterLoad += s.cores[i].residentBlocks()
-			}
-			key := [3]int{clusterLoad, c.residentBlocks(), c.id}
+			key := [3]int{s.clusterBlocks[c.cluster], c.residentBlocks(), c.id}
 			if key[0] < bestKey[0] || (key[0] == bestKey[0] && (key[1] < bestKey[1] ||
 				(key[1] == bestKey[1] && key[2] < bestKey[2]))) {
 				best, bestKey = c.id, key
@@ -189,10 +272,15 @@ func (s *gpuSim) dispatch(cycle uint64) {
 		cy := bid / s.launch.Grid.X
 		bctx := kernel.NewBlockCtx(s.launch, cx, cy)
 		env := &kernel.Env{Global: s.global, Const: s.cmem, Block: bctx}
-		c.place(s.launch, env, s.blockSMem, s.blockRegs, &s.act)
+		wasResident := c.residentWarps()
+		b := c.place(s.launch, env, s.blockSMem, s.blockRegs, &s.act)
 		s.act.BlocksLaunched++
-		// The global scheduler writes the launch descriptor to the core.
-		s.act.PCIeBytes += 0 // launch metadata stays on chip
+		s.clusterBlocks[c.cluster]++
+		if !wasResident {
+			s.clusterCores[c.cluster]++
+		}
+		s.resident += b.total
+		s.progress = true
 		// One dispatch per cycle: mirrors the serial hardware scheduler.
 		break
 	}
@@ -211,22 +299,28 @@ func (s *gpuSim) maybeReleaseBarrier(c *coreState, b *blockRt) {
 	b.atBarrier = 0
 }
 
-// maybeRetireBlock frees a block once all warps finished and all in-flight
-// instructions drained.
-func (s *gpuSim) maybeRetireBlock(c *coreState, b *blockRt) {
-	if b.finished == b.total && b.outstanding == 0 {
-		c.retire(b, s.blockSMem, s.blockRegs)
-		s.retired++
+// retireIfDone frees a block once all warps finished and all in-flight
+// instructions drained, keeping the incremental occupancy counters current.
+// It reports whether the block retired.
+func (s *gpuSim) retireIfDone(c *coreState, b *blockRt) bool {
+	if b.finished < b.total || b.outstanding != 0 {
+		return false
 	}
+	c.retire(b, s.blockSMem, s.blockRegs)
+	s.retired++
+	s.resident -= b.total
+	s.clusterBlocks[c.cluster]--
+	if !c.residentWarps() {
+		s.clusterCores[c.cluster]--
+	}
+	s.progress = true
+	return true
 }
 
 // drainRetirements retires any blocks that completed via event drains.
 func (s *gpuSim) drainRetirements(c *coreState) {
 	for i := 0; i < len(c.blocks); {
-		b := c.blocks[i]
-		if b.finished == b.total && b.outstanding == 0 {
-			c.retire(b, s.blockSMem, s.blockRegs)
-			s.retired++
+		if s.retireIfDone(c, c.blocks[i]) {
 			continue // retire spliced the slice
 		}
 		i++
@@ -255,16 +349,15 @@ func (s *gpuSim) result() *Result {
 	if a.ConstReads > 0 {
 		r.ConstHitRate = 1 - float64(a.ConstMisses)/float64(a.ConstReads)
 	}
-	// Occupancy: warps launched per busy core-cycle over the maximum.
+	// Occupancy: resident warps per busy core-cycle over the per-core
+	// maximum, from the exact resident-warp integral.
 	var busySum uint64
 	for _, b := range a.CoreBusyCycles {
 		busySum += b
 	}
 	if busySum > 0 {
-		// Approximate resident-warp integral by warps*runtime share.
-		r.OccupancyPct = 100 * float64(a.WarpsLaunched) /
-			float64(uint64(s.cfg.MaxWarpsPerCore)*uint64(a.BlocksLaunched)) *
-			float64(s.blockDemand.warps) / float64(s.blockDemand.warps)
+		r.OccupancyPct = 100 * float64(a.ResidentWarpCycles) /
+			(float64(busySum) * float64(s.cfg.MaxWarpsPerCore))
 		if r.OccupancyPct > 100 {
 			r.OccupancyPct = 100
 		}

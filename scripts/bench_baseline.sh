@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerates BENCH_BASELINE.json: one -benchtime=1x pass over every
+# benchmark in the root harness, emitted by `go test -json` and condensed by
+# scripts/benchjson into a stable, diff-friendly snapshot.
+#
+# Usage: ./scripts/bench_baseline.sh [output-file]
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_BASELINE.json}"
+# Stage through a temp file rather than a pipe: plain sh has no pipefail, so
+# a failing `go test` must abort before anything overwrites the snapshot.
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+go test -bench=. -benchtime=1x -run=NONE -json . > "$tmp"
+go run ./scripts/benchjson < "$tmp" > "$out"
+echo "wrote $out"

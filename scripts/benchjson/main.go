@@ -1,0 +1,123 @@
+// Command benchjson condenses a `go test -bench -json` event stream (stdin)
+// into a stable benchmark snapshot (stdout): one record per benchmark with
+// its ns/op and any custom metrics, ordered as run. It backs
+// scripts/bench_baseline.sh, which maintains BENCH_BASELINE.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the go test -json event schema we consume.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// Benchmark is one benchmark's condensed result.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the snapshot file layout.
+type Baseline struct {
+	Note       string      `json:"note"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	dec := json.NewDecoder(bufio.NewReader(os.Stdin))
+	base := Baseline{
+		Note: "regenerate with ./scripts/bench_baseline.sh; timings are host-dependent, compare relative changes on one machine",
+	}
+	// A benchmark's result line arrives split over several output events
+	// ("BenchmarkX \t", then "       1\t 123 ns/op ...\n"), so accumulate
+	// output and parse completed lines.
+	var buf strings.Builder
+	flushLines := func() {
+		s := buf.String()
+		for {
+			nl := strings.IndexByte(s, '\n')
+			if nl < 0 {
+				break
+			}
+			if b, ok := parseBenchLine(s[:nl]); ok {
+				base.Benchmarks = append(base.Benchmarks, b)
+			}
+			s = s[nl+1:]
+		}
+		buf.Reset()
+		buf.WriteString(s)
+	}
+	for dec.More() {
+		var ev testEvent
+		if err := dec.Decode(&ev); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		buf.WriteString(ev.Output)
+		flushLines()
+	}
+	flushLines()
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses a benchmark result line of the form
+//
+//	BenchmarkName-8  <tab> 10 <tab> 123456 ns/op <tab> 42.0 some-metric
+//
+// returning ok=false for any other output line.
+func parseBenchLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: strings.TrimSuffix(fields[0], "\t")}
+	// Strip the -GOMAXPROCS suffix for stability across machines.
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name = b.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	return b, true
+}
