@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench baseline
+.PHONY: ci vet build test race bench baseline bench-compare
 
 ci: vet build race
 
@@ -24,8 +24,14 @@ race:
 
 # Quick benchmark pass over the whole harness (one iteration each).
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=NONE .
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=NONE .
 
 # Regenerate BENCH_BASELINE.json (see docs/PERFORMANCE.md).
 baseline:
 	./scripts/bench_baseline.sh
+
+# Diff two benchmark snapshots: custom-metric drift (must be zero) is
+# flagged separately from timing/allocation drift, and fails the target.
+#   make bench-compare OLD=BENCH_BASELINE.json NEW=BENCH_NEW.json
+bench-compare:
+	$(GO) run ./scripts/benchjson -compare $(OLD) $(NEW)

@@ -7,9 +7,12 @@
 package config
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/xml"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -98,7 +101,114 @@ type GPU struct {
 	// exists for debugging and for benchmarking the fast-forward speedup.
 	DenseClock bool `xml:"denseClock,omitempty"`
 
+	// DisableSimCache forces every launch through a fresh timing simulation
+	// instead of the process-wide content-addressed result cache
+	// (internal/simcache). The cached and fresh paths are bit-identical in
+	// every reported metric (enforced by the core package's equivalence
+	// tests); the knob exists for debugging and for benchmarking the cache.
+	// The GPUSIMPOW_DISABLE_SIM_CACHE environment variable has the same
+	// effect process-wide.
+	DisableSimCache bool `xml:"disableSimCache,omitempty"`
+
 	Power PowerCal `xml:"power"`
+}
+
+// ---------------------------------------------------------------------------
+// Timing-key vs. power-parameter partition.
+//
+// The cycle-level simulator (internal/sim) reads only a subset of the
+// configuration; every other field affects power evaluation alone. The
+// partition is explicit here so the simulation-result cache
+// (internal/simcache) can key timing results by exactly the fields that
+// determine them: two configurations differing only in power-side
+// parameters — the process node, the uncore clock, the memory technology
+// label, the PCIe width, the whole PowerCal block, the name — share
+// cycle-accurate results, which is what lets the DVFS, process-node and
+// static-extrapolation sweeps simulate once and evaluate many times.
+//
+// CoreClockMHz and MemDataRateGbps ARE timing-relevant: DRAM nanosecond
+// timings and per-burst transfer times are converted into core cycles with
+// them. DenseClock and DisableSimCache are excluded deliberately: the
+// event-driven and dense clock loops are bit-identical (enforced by the sim
+// package's equivalence tests), and the cache knob must not change what is
+// simulated.
+// ---------------------------------------------------------------------------
+
+// TimingKey returns a stable content hash over the timing-relevant fields:
+// configurations with equal keys produce bit-identical simulation results
+// for any kernel. Adding a field the simulator reads requires extending
+// appendTimingFields (and bumping timingKeyVersion).
+func (g *GPU) TimingKey() [32]byte {
+	return sha256.Sum256(g.appendTimingFields(make([]byte, 0, 512)))
+}
+
+// timingKeyVersion invalidates all keys when the encoding (or the set of
+// timing-relevant fields) changes.
+const timingKeyVersion = 1
+
+// appendTimingFields appends a fixed-order binary encoding of every field
+// the performance simulator reads. Field order is load-bearing; integers are
+// encoded as little-endian uint64, floats as their IEEE-754 bit patterns,
+// strings with a length prefix.
+func (g *GPU) appendTimingFields(b []byte) []byte {
+	u := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	i := func(v int) { u(uint64(int64(v))) }
+	f := func(v float64) { u(math.Float64bits(v)) }
+	s := func(v string) { i(len(v)); b = append(b, v...) }
+	o := func(v bool) {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+
+	u(timingKeyVersion)
+	// Clocks and DRAM data rate (converted into core cycles by the DRAM
+	// timing model).
+	f(g.CoreClockMHz)
+	f(g.MemDataRateGbps)
+	// Organization.
+	i(g.Clusters)
+	i(g.CoresPerCluster)
+	i(g.WarpSize)
+	i(g.MaxWarpsPerCore)
+	i(g.MaxBlocksPerCore)
+	i(g.MaxThreadsPerCore)
+	i(g.RegsPerCore)
+	i(g.Schedulers)
+	s(g.SchedulerPolicy)
+	i(g.ActiveWarpsPerSched)
+	i(g.FUsPerCore)
+	i(g.SFUsPerCore)
+	o(g.HasScoreboard)
+	i(g.ScoreboardEntries)
+	// Pipeline latencies.
+	i(g.ALULatency)
+	i(g.SFULatency)
+	i(g.SMemLatency)
+	// Core memory structures.
+	i(g.SharedMemPerCoreKB)
+	i(g.SMemBanks)
+	i(g.L1KB)
+	i(g.L1LineB)
+	i(g.L1Assoc)
+	i(g.ConstCacheKB)
+	i(g.ConstLineB)
+	i(g.TexCacheKB)
+	i(g.TexLineB)
+	// L2.
+	i(g.L2KB)
+	i(g.L2LineB)
+	i(g.L2Assoc)
+	// DRAM geometry and timing.
+	i(g.MemChannels)
+	i(g.DRAMBanks)
+	i(g.DRAMRowBytes)
+	i(g.DRAMLatencyCore)
+	f(g.DRAMTRCDNS)
+	f(g.DRAMTRPNS)
+	return b
 }
 
 // PowerCal holds the empirical power-model anchors (paper §III-D and Fig. 4).

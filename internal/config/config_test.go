@@ -195,3 +195,82 @@ func TestDerivedQuantities(t *testing.T) {
 		t.Errorf("GTX580 bandwidth %v GB/s, want ~192", bw)
 	}
 }
+
+func TestTimingKeyIgnoresPowerSideParams(t *testing.T) {
+	base := GT240().TimingKey()
+	// Every mutation here is power/tech/presentation-side: the performance
+	// simulator never reads these fields, so the timing key must not move.
+	powerSide := []struct {
+		name   string
+		change func(*GPU)
+	}{
+		{"name", func(g *GPU) { g.Name = "GT240@28nm" }},
+		{"process node", func(g *GPU) { g.ProcessNM = 28 }},
+		{"uncore clock", func(g *GPU) { g.UncoreClockMHz = 400 }},
+		{"memory technology label", func(g *GPU) { g.MemType = "ddr3" }},
+		{"pcie lanes", func(g *GPU) { g.PCIeLanes = 8 }},
+		{"dense clock", func(g *GPU) { g.DenseClock = true }},
+		{"cache knob", func(g *GPU) { g.DisableSimCache = true }},
+		{"fp energy", func(g *GPU) { g.Power.FPOpPJ *= 2 }},
+		{"base power", func(g *GPU) { g.Power.ClusterBaseW *= 3 }},
+		{"dyn scale", func(g *GPU) { g.Power.DynScaleFactor = 0.5 }},
+		{"leakage temp", func(g *GPU) { g.Power.LeakageTempFactor = 1.4 }},
+		{"gddr chips", func(g *GPU) { g.Power.GDDRChipsOverride = 8 }},
+	}
+	for _, c := range powerSide {
+		g := GT240()
+		c.change(g)
+		if g.TimingKey() != base {
+			t.Errorf("%s: power-side change moved the timing key", c.name)
+		}
+	}
+}
+
+func TestTimingKeySeesTimingParams(t *testing.T) {
+	base := GT240().TimingKey()
+	seen := map[[32]byte]string{base: "base"}
+	// Every mutation here changes what the simulator does; each must yield
+	// a key distinct from the base AND from all the others.
+	timingSide := []struct {
+		name   string
+		change func(*GPU)
+	}{
+		{"core clock", func(g *GPU) { g.CoreClockMHz *= 0.8 }},
+		{"mem data rate", func(g *GPU) { g.MemDataRateGbps = 2.0 }},
+		{"clusters", func(g *GPU) { g.Clusters = 2 }},
+		{"cores per cluster", func(g *GPU) { g.CoresPerCluster = 2 }},
+		{"warp size", func(g *GPU) { g.WarpSize = 16 }},
+		{"max warps", func(g *GPU) { g.MaxWarpsPerCore = 48 }},
+		{"regs per core", func(g *GPU) { g.RegsPerCore *= 2 }},
+		{"schedulers", func(g *GPU) { g.Schedulers = 2 }},
+		{"scheduler policy", func(g *GPU) { g.SchedulerPolicy = "gto" }},
+		{"active set", func(g *GPU) { g.ActiveWarpsPerSched = 4 }},
+		{"fus", func(g *GPU) { g.FUsPerCore = 16 }},
+		{"sfus", func(g *GPU) { g.SFUsPerCore = 4 }},
+		{"scoreboard", func(g *GPU) { g.HasScoreboard = true; g.ScoreboardEntries = 6 }},
+		{"alu latency", func(g *GPU) { g.ALULatency++ }},
+		{"smem geometry", func(g *GPU) { g.SMemBanks = 32 }},
+		{"l1", func(g *GPU) { g.L1KB = 16; g.L1LineB = 128; g.L1Assoc = 4 }},
+		{"const cache", func(g *GPU) { g.ConstCacheKB *= 2 }},
+		{"l2", func(g *GPU) { g.L2KB = 256; g.L2LineB = 128; g.L2Assoc = 8 }},
+		{"mem channels", func(g *GPU) { g.MemChannels = 8 }},
+		{"dram banks", func(g *GPU) { g.DRAMBanks = 8 }},
+		{"dram latency", func(g *GPU) { g.DRAMLatencyCore += 10 }},
+		{"dram trcd", func(g *GPU) { g.DRAMTRCDNS += 1 }},
+	}
+	for _, c := range timingSide {
+		g := GT240()
+		c.change(g)
+		k := g.TimingKey()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s: timing change collided with %q", c.name, prev)
+		}
+		seen[k] = c.name
+	}
+}
+
+func TestTimingKeyDistinguishesPresets(t *testing.T) {
+	if GT240().TimingKey() == GTX580().TimingKey() {
+		t.Fatal("GT240 and GTX580 share a timing key")
+	}
+}

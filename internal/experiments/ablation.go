@@ -66,22 +66,29 @@ func ablationKernel(cfg *config.GPU) (*kernel.Launch, *kernel.GlobalMem) {
 	}, mem
 }
 
-// runVariant simulates one configuration variant on the workload kernelFn
-// builds and condenses the outcome into an AblationRow.
+// runVariant evaluates one configuration variant on the workload kernelFn
+// builds and condenses the outcome into an AblationRow. The two stages are
+// explicit: the timing stage goes through the simulation-result cache, so
+// variants that differ only in power-side parameters (the process-node
+// sweep: every node shares one timing key) simulate once and re-evaluate
+// the analytic model per variant.
 func runVariant(name string, cfg *config.GPU, kernelFn func(*config.GPU) (*kernel.Launch, *kernel.GlobalMem)) (AblationRow, error) {
 	simr, err := core.New(cfg)
 	if err != nil {
 		return AblationRow{}, err
 	}
 	l, mem := kernelFn(cfg)
-	rep, err := simr.RunKernel(l, mem, nil)
+	tr, err := simr.Simulate(l, mem, nil)
 	if err != nil {
 		return AblationRow{}, err
 	}
-	p := rep.Power
+	p, err := simr.EvaluatePower(tr)
+	if err != nil {
+		return AblationRow{}, err
+	}
 	row := AblationRow{
 		Variant:  name,
-		Cycles:   rep.Perf.Activity.Cycles,
+		Cycles:   tr.Perf.Activity.Cycles,
 		TotalW:   p.TotalW,
 		DynamicW: p.DynamicW,
 		StaticW:  p.StaticW,

@@ -174,15 +174,22 @@ func fig6Benchmark(mk func() *config.GPU, f bench.Factory) ([]fig6Agg, error) {
 	perKernel := map[string]*fig6Agg{}
 	var order []string
 
-	// Simulator side.
+	// Simulator side, explicitly two-stage: the timing results enter the
+	// shared simulation-result cache here, and the hardware side below (the
+	// card's silicon differs only in power anchors, hence shares the timing
+	// key) replays them instead of simulating the same launches again.
 	simInst, err := f.Make()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", f.Name, err)
 	}
 	for _, r := range simInst.Runs {
-		rep, err := simr.RunKernel(r.Launch, simInst.Mem, r.CMem)
+		tr, err := simr.Simulate(r.Launch, simInst.Mem, r.CMem)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: simulating %s/%s: %w", f.Name, r.Name, err)
+		}
+		rt, err := simr.EvaluatePower(tr)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: power for %s/%s: %w", f.Name, r.Name, err)
 		}
 		a := perKernel[r.Name]
 		if a == nil {
@@ -190,7 +197,7 @@ func fig6Benchmark(mk func() *config.GPU, f bench.Factory) ([]fig6Agg, error) {
 			perKernel[r.Name] = a
 			order = append(order, r.Name)
 		}
-		a.simTotal += rep.Power.TotalW + rep.Power.DRAMW
+		a.simTotal += rt.TotalW + rt.DRAMW
 		a.n++
 	}
 	if err := simInst.Verify(); err != nil {

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Token is one entry of the per-warp reconvergence stack: an execution PC,
@@ -122,15 +123,6 @@ type StepInfo struct {
 	AtBarrier bool
 }
 
-func popcount(m uint32) int {
-	n := 0
-	for m != 0 {
-		m &= m - 1
-		n++
-	}
-	return n
-}
-
 // operand fetches the value of operand o for lane l.
 func (w *Warp) operand(o Operand, l int, env *Env) uint32 {
 	switch o.Kind {
@@ -186,23 +178,27 @@ func (w *Warp) Exec(p *Program, env *Env) (StepInfo, error) {
 	in := &p.Instrs[pc]
 	info := StepInfo{Instr: in, PC: pc}
 
-	// Predicate resolution.
+	// Predicate resolution: build the set-lane mask branch-free over the
+	// contiguous predicate-register row, then mask with the active lanes
+	// (reading an inactive lane's predicate is harmless).
 	execMask := top.Mask
 	if in.Pred != NoPred {
+		preds := w.Regs[int(in.Pred)*WarpSize : int(in.Pred)*WarpSize+WarpSize]
 		var pm uint32
-		for l := 0; l < WarpSize; l++ {
-			if top.Mask&(1<<l) == 0 {
-				continue
+		for l, v := range preds {
+			var bit uint32
+			if v != 0 {
+				bit = 1
 			}
-			v := *w.reg(uint8(in.Pred), l)
-			if (v != 0) != in.PredNeg {
-				pm |= 1 << l
-			}
+			pm |= bit << l
 		}
-		execMask = pm
+		if in.PredNeg {
+			pm = ^pm
+		}
+		execMask = top.Mask & pm
 	}
 	info.ExecMask = execMask
-	info.ActiveLanes = popcount(execMask)
+	info.ActiveLanes = bits.OnesCount32(execMask)
 
 	switch in.Op {
 	case OpBra:
@@ -298,12 +294,12 @@ func (w *Warp) popEmptyAndMerged(info *StepInfo) {
 // ReleaseBarrier resumes a warp stopped at a barrier.
 func (w *Warp) ReleaseBarrier() { w.AtBarrier = false }
 
-// execData executes a non-control instruction for all lanes in execMask.
+// execData executes a non-control instruction for all lanes in execMask,
+// iterating set bits directly (lanes ascend, so lane-ordered effects such as
+// AtomAdd are unchanged) instead of testing all WarpSize lanes.
 func (w *Warp) execData(in *Instr, execMask uint32, env *Env, info *StepInfo) error {
-	for l := 0; l < WarpSize; l++ {
-		if execMask&(1<<l) == 0 {
-			continue
-		}
+	for rem := execMask; rem != 0; rem &= rem - 1 {
+		l := bits.TrailingZeros32(rem)
 		a := uint32(0)
 		if in.NumSrc > 0 {
 			a = w.operand(in.Src[0], l, env)

@@ -42,8 +42,8 @@ func (m *GlobalMem) Size() int { return int(m.next) }
 func (m *GlobalMem) idx(addr uint32) int {
 	i := int(addr / 4)
 	if i >= len(m.words) {
-		// Accesses beyond the allocated space grow the image; hardware would
-		// fault, but benchmarks under test deserve a readable zero rather
+		// Writes beyond the allocated space grow the image; hardware would
+		// fault, but benchmarks under test deserve a usable zero rather
 		// than a crash, and the functional tests verify addresses anyway.
 		grown := make([]uint32, i+i/2+4)
 		copy(grown, m.words)
@@ -52,8 +52,17 @@ func (m *GlobalMem) idx(addr uint32) int {
 	return i
 }
 
-// Read32 loads the aligned 32-bit word containing addr.
-func (m *GlobalMem) Read32(addr uint32) uint32 { return m.words[m.idx(addr)] }
+// Read32 loads the aligned 32-bit word containing addr. Reads beyond the
+// image are side-effect-free and return zero, like an unmapped page; only
+// writes grow the image. (A read that grew the image would perturb its size
+// — and therefore its content hash, which the simulation-result cache keys
+// timing results by.)
+func (m *GlobalMem) Read32(addr uint32) uint32 {
+	if i := int(addr / 4); i < len(m.words) {
+		return m.words[i]
+	}
+	return 0
+}
 
 // Write32 stores v to the aligned 32-bit word containing addr.
 func (m *GlobalMem) Write32(addr uint32, v uint32) { m.words[m.idx(addr)] = v }
@@ -113,6 +122,36 @@ func (m *GlobalMem) AllocI32(vs []int32) uint32 {
 // AllocZeroF32 allocates an n-element zeroed float32 buffer.
 func (m *GlobalMem) AllocZeroF32(n int) uint32 { return m.Alloc(4 * n) }
 
+// MemSnapshot is a frozen copy of a GlobalMem image, taken by Snapshot and
+// applied by Restore. The simulation-result cache stores one per cached
+// timing result so that a cache hit can replay the kernel's memory side
+// effects without re-simulating.
+type MemSnapshot struct {
+	Words []uint32
+	Next  uint32
+}
+
+// Snapshot returns a frozen copy of the image.
+func (m *GlobalMem) Snapshot() MemSnapshot {
+	return MemSnapshot{Words: append([]uint32(nil), m.words...), Next: m.next}
+}
+
+// Restore overwrites the image with a snapshot's content. The snapshot is
+// copied, so writes through the image never alias it.
+func (m *GlobalMem) Restore(s MemSnapshot) {
+	if cap(m.words) >= len(s.Words) {
+		m.words = m.words[:len(s.Words)]
+	} else {
+		m.words = make([]uint32, len(s.Words))
+	}
+	copy(m.words, s.Words)
+	m.next = s.Next
+}
+
+// Words exposes the raw word image for content hashing. Callers must treat
+// the slice as read-only.
+func (m *GlobalMem) Words() []uint32 { return m.words }
+
 func f2b(v float32) uint32 { return math.Float32bits(v) }
 func b2f(v uint32) float32 { return math.Float32frombits(v) }
 
@@ -152,5 +191,9 @@ func (c *ConstMem) Read32(addr uint32) uint32 {
 
 // Bytes returns the segment size in bytes.
 func (c *ConstMem) Bytes() int { return 4 * len(c.words) }
+
+// Words exposes the raw word image for content hashing. Callers must treat
+// the slice as read-only.
+func (c *ConstMem) Words() []uint32 { return c.words }
 
 func (c *ConstMem) String() string { return fmt.Sprintf("const[%dB]", c.Bytes()) }

@@ -146,15 +146,39 @@ func Find(items []Item, name string) (Item, bool) {
 	return Item{}, false
 }
 
-// Runtime converts a simulation result into runtime power.
+// Runtime converts a simulation result into runtime power, trusting the
+// kernel duration the result carries. Production callers go through
+// Evaluate (which derives the duration from the cycle count, as the
+// cached-snapshot pipeline requires); Runtime remains the entry point for
+// results carrying an authoritative duration, e.g. synthetic results in
+// tests. Both share runtimeAt, so the model arithmetic cannot diverge.
 func (m *Model) Runtime(res *sim.Result) (*RuntimeReport, error) {
 	if res == nil || res.Seconds <= 0 {
 		return nil, fmt.Errorf("power: result with non-positive runtime")
 	}
+	return m.runtimeAt(res, res.Seconds)
+}
+
+// Evaluate is the pure power stage of the two-stage (simulate-once,
+// evaluate-many) pipeline: it computes runtime power from a timing snapshot
+// alone, deriving the kernel duration from the cycle count at this model's
+// own core clock. A snapshot replayed from the simulation-result cache thus
+// evaluates at the evaluating configuration's operating point — and since
+// the core clock is part of the timing key, the derived duration is
+// bit-identical to what a live simulation would have reported.
+func (m *Model) Evaluate(res *sim.Result) (*RuntimeReport, error) {
+	if res == nil || res.Activity.Cycles == 0 {
+		return nil, fmt.Errorf("power: timing snapshot with no cycles")
+	}
+	return m.runtimeAt(res, float64(res.Activity.Cycles)/m.cfg.CoreClockHz())
+}
+
+// runtimeAt maps activity counts to power over a kernel duration of T
+// seconds.
+func (m *Model) runtimeAt(res *sim.Result, T float64) (*RuntimeReport, error) {
 	cfg := m.cfg
 	p := cfg.Power
 	a := &res.Activity
-	T := res.Seconds
 	scale := p.DynScaleFactor
 	nCores := float64(cfg.NumCores())
 

@@ -14,6 +14,7 @@
 package runner
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -85,3 +86,62 @@ func firstError(errs []error) error {
 	}
 	return nil
 }
+
+// Flight deduplicates concurrent calls by key ("single-flight"): the first
+// caller of a key runs fn, every caller that arrives while that call is in
+// flight blocks and receives the same result. The simulation-result cache
+// fronts the timing simulator with one, so parallel sweep jobs wanting the
+// same content-addressed key simulate it exactly once. The zero value is
+// ready to use.
+type Flight[K comparable, V any] struct {
+	mu       sync.Mutex
+	inflight map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do runs fn once per concurrently-requested key and returns its result.
+// shared reports whether the result came from another caller's execution —
+// callers that need fn's side effects locally must replay them when shared
+// is true. Results are not memoized beyond the in-flight window: a new call
+// after completion runs fn again (long-term memoization is the cache's job,
+// not the flight group's).
+func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (val V, err error, shared bool) {
+	f.mu.Lock()
+	if f.inflight == nil {
+		f.inflight = make(map[K]*flightCall[V])
+	}
+	if c, ok := f.inflight[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.inflight[key] = c
+	f.mu.Unlock()
+
+	// The cleanup must run even if fn panics: the key would otherwise stay
+	// in the inflight map with its done channel never closed, deadlocking
+	// every current and future caller of that key. A panicking fn still
+	// unwinds the leader, but waiters receive an error instead of hanging.
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = errFlightPanicked
+		}
+		f.mu.Lock()
+		delete(f.inflight, key)
+		f.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	completed = true
+	return c.val, c.err, false
+}
+
+// errFlightPanicked is handed to waiters whose leader's fn panicked.
+var errFlightPanicked = errors.New("runner: single-flight function panicked")

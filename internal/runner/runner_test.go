@@ -3,6 +3,8 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -80,5 +82,120 @@ func TestForEach(t *testing.T) {
 	}
 	if sum.Load() != 4950 {
 		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+}
+
+func TestFlightDeduplicatesConcurrentCalls(t *testing.T) {
+	var f Flight[string, int]
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	const n = 8
+	results := make([]int, n)
+	shareds := make([]bool, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := f.Do("k", func() (int, error) {
+				close(started)
+				<-release // hold the flight open so everyone piles up
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], shareds[i] = v, shared
+		}(i)
+	}
+	<-started
+	// Give the other callers a moment to enqueue, then release the leader.
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	leaders := 0
+	for i := 0; i < n; i++ {
+		if results[i] != 42 {
+			t.Fatalf("caller %d got %d", i, results[i])
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d callers claim to have run fn, want 1", leaders)
+	}
+}
+
+func TestFlightSequentialCallsRunAgain(t *testing.T) {
+	var f Flight[int, int]
+	var calls int
+	for i := 0; i < 3; i++ {
+		v, err, shared := f.Do(7, func() (int, error) { calls++; return calls, nil })
+		if err != nil || shared {
+			t.Fatalf("call %d: err=%v shared=%v", i, err, shared)
+		}
+		if v != i+1 {
+			t.Fatalf("call %d returned %d; flights must not memoize", i, v)
+		}
+	}
+}
+
+func TestFlightPropagatesErrors(t *testing.T) {
+	var f Flight[int, int]
+	wantErr := errors.New("boom")
+	if _, err, _ := f.Do(1, func() (int, error) { return 0, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// A failed flight leaves nothing behind; the next call runs fn again.
+	v, err, shared := f.Do(1, func() (int, error) { return 9, nil })
+	if v != 9 || err != nil || shared {
+		t.Fatalf("post-error call: v=%d err=%v shared=%v", v, err, shared)
+	}
+}
+
+func TestFlightSurvivesPanic(t *testing.T) {
+	var f Flight[int, int]
+	// A waiter blocked behind the panicking leader must be released with an
+	// error, and the key must be usable again afterwards.
+	entered := make(chan struct{})
+	waiterDone := make(chan error, 1)
+	go func() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("leader's panic was swallowed")
+				}
+			}()
+			f.Do(1, func() (int, error) {
+				close(entered)
+				for i := 0; i < 200; i++ {
+					runtime.Gosched() // let the waiter enqueue
+				}
+				panic("boom")
+			})
+		}()
+	}()
+	<-entered
+	// This call either catches the in-flight panicking leader (must be
+	// released with an error, not deadlock) or — if cleanup already ran —
+	// becomes a fresh leader and succeeds. Both are fine; hanging is not.
+	_, err, shared := f.Do(1, func() (int, error) { return 1, nil })
+	waiterDone <- err
+	if err := <-waiterDone; shared && err == nil {
+		t.Fatal("waiter behind a panicked flight got no error")
+	}
+	v, err, shared := f.Do(1, func() (int, error) { return 3, nil })
+	if v != 3 || err != nil || shared {
+		t.Fatalf("post-panic call: v=%d err=%v shared=%v (key leaked?)", v, err, shared)
 	}
 }

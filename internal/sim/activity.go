@@ -100,3 +100,13 @@ type Result struct {
 	// OccupancyPct is resident warps / max warps averaged over busy cores.
 	OccupancyPct float64
 }
+
+// Clone returns a deep copy of the result (the per-core and per-cluster
+// activity slices are copied), so the simulation-result cache can hand out
+// snapshots without any caller aliasing the cached master copy.
+func (r *Result) Clone() *Result {
+	c := *r
+	c.Activity.CoreBusyCycles = append([]uint64(nil), r.Activity.CoreBusyCycles...)
+	c.Activity.ClusterBusyCycles = append([]uint64(nil), r.Activity.ClusterBusyCycles...)
+	return &c
+}

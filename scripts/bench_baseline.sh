@@ -11,6 +11,6 @@ out="${1:-BENCH_BASELINE.json}"
 # a failing `go test` must abort before anything overwrites the snapshot.
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
-go test -bench=. -benchtime=1x -run=NONE -json . > "$tmp"
+go test -bench=. -benchtime=1x -benchmem -run=NONE -json . > "$tmp"
 go run ./scripts/benchjson < "$tmp" > "$out"
 echo "wrote $out"

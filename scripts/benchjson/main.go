@@ -1,14 +1,23 @@
 // Command benchjson condenses a `go test -bench -json` event stream (stdin)
 // into a stable benchmark snapshot (stdout): one record per benchmark with
-// its ns/op and any custom metrics, ordered as run. It backs
-// scripts/bench_baseline.sh, which maintains BENCH_BASELINE.json.
+// its ns/op, allocation stats (-benchmem) and any custom metrics, ordered as
+// run. It backs scripts/bench_baseline.sh, which maintains
+// BENCH_BASELINE.json.
+//
+// With -compare OLD NEW it instead diffs two snapshot files: custom-metric
+// drift (which must be zero — the metrics are reproduced model quantities,
+// not timings) is reported separately from timing/allocation drift, and any
+// metric drift makes the command exit non-zero. Used by `make bench-compare
+// OLD=... NEW=...`.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -21,10 +30,12 @@ type testEvent struct {
 
 // Benchmark is one benchmark's condensed result.
 type Benchmark struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Baseline is the snapshot file layout.
@@ -34,6 +45,17 @@ type Baseline struct {
 }
 
 func main() {
+	if len(os.Args) == 4 && os.Args[1] == "-compare" {
+		os.Exit(compare(os.Args[2], os.Args[3]))
+	}
+	if len(os.Args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson < go-test-json-stream  |  benchjson -compare OLD.json NEW.json")
+		os.Exit(2)
+	}
+	condense()
+}
+
+func condense() {
 	dec := json.NewDecoder(bufio.NewReader(os.Stdin))
 	base := Baseline{
 		Note: "regenerate with ./scripts/bench_baseline.sh; timings are host-dependent, compare relative changes on one machine",
@@ -80,7 +102,7 @@ func main() {
 
 // parseBenchLine parses a benchmark result line of the form
 //
-//	BenchmarkName-8  <tab> 10 <tab> 123456 ns/op <tab> 42.0 some-metric
+//	BenchmarkName-8  <tab> 10 <tab> 123456 ns/op <tab> 16 B/op <tab> 2 allocs/op <tab> 42.0 some-metric
 //
 // returning ok=false for any other output line.
 func parseBenchLine(line string) (Benchmark, bool) {
@@ -109,15 +131,139 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		if err != nil {
 			return Benchmark{}, false
 		}
-		unit := fields[i+1]
-		if unit == "ns/op" {
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
 			b.NsPerOp = v
-			continue
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
 		}
-		if b.Metrics == nil {
-			b.Metrics = map[string]float64{}
-		}
-		b.Metrics[unit] = v
 	}
 	return b, true
+}
+
+// compare diffs two snapshots. Exit status: 0 when no custom metric moved,
+// 1 on metric drift (or unreadable input).
+func compare(oldPath, newPath string) int {
+	oldB, err := loadBaseline(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	newB, err := loadBaseline(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	oldBy := byName(oldB)
+	newBy := byName(newB)
+
+	var names []string
+	for n := range oldBy {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	metricDrift := 0
+	fmt.Printf("== custom metrics (must not drift) ==\n")
+	for _, n := range names {
+		o := oldBy[n]
+		w, ok := newBy[n]
+		var keys []string
+		for k := range o.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ov := o.Metrics[k]
+			if !ok {
+				// A removed/renamed benchmark takes its metrics with it;
+				// that disappearance is drift, not a free pass.
+				fmt.Printf("DRIFT %s %s: %g -> (benchmark missing)\n", n, k, ov)
+				metricDrift++
+				continue
+			}
+			nv, present := w.Metrics[k]
+			switch {
+			case !present:
+				fmt.Printf("DRIFT %s %s: %g -> (missing)\n", n, k, ov)
+				metricDrift++
+			case nv != ov:
+				fmt.Printf("DRIFT %s %s: %g -> %g\n", n, k, ov, nv)
+				metricDrift++
+			}
+		}
+	}
+	if metricDrift == 0 {
+		fmt.Printf("all custom metrics identical\n")
+	}
+
+	fmt.Printf("\n== timing and allocations (informational) ==\n")
+	fmt.Printf("%-42s %14s %14s %8s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs o->n")
+	for _, n := range names {
+		o := oldBy[n]
+		w, ok := newBy[n]
+		if !ok {
+			fmt.Printf("%-42s %14.0f %14s\n", n, o.NsPerOp, "(removed)")
+			continue
+		}
+		delta := "n/a"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(w.NsPerOp-o.NsPerOp)/o.NsPerOp)
+		}
+		allocs := ""
+		if o.AllocsPerOp != 0 || w.AllocsPerOp != 0 {
+			allocs = fmt.Sprintf("%s->%s", fmtAllocs(o.AllocsPerOp), fmtAllocs(w.AllocsPerOp))
+		}
+		fmt.Printf("%-42s %14.0f %14.0f %8s %12s\n", n, o.NsPerOp, w.NsPerOp, delta, allocs)
+	}
+	var added []string
+	for n := range newBy {
+		if _, ok := oldBy[n]; !ok {
+			added = append(added, n)
+		}
+	}
+	sort.Strings(added)
+	for _, n := range added {
+		fmt.Printf("%-42s %14s %14.0f (new)\n", n, "-", newBy[n].NsPerOp)
+	}
+
+	if metricDrift > 0 {
+		fmt.Printf("\n%d custom metric(s) drifted\n", metricDrift)
+		return 1
+	}
+	return 0
+}
+
+func fmtAllocs(v float64) string {
+	if v == math.Trunc(v) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func loadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func byName(b *Baseline) map[string]Benchmark {
+	m := make(map[string]Benchmark, len(b.Benchmarks))
+	for _, bb := range b.Benchmarks {
+		m[bb.Name] = bb
+	}
+	return m
 }
