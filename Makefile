@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench baseline bench-compare
+.PHONY: ci vet build test race bench baseline bench-compare ci-bench
 
-ci: vet build race
+ci: vet build race ci-bench
 
 vet:
 	$(GO) vet ./...
@@ -35,3 +35,14 @@ baseline:
 #   make bench-compare OLD=BENCH_BASELINE.json NEW=BENCH_NEW.json
 bench-compare:
 	$(GO) run ./scripts/benchjson -compare $(OLD) $(NEW)
+
+# CI gate on the committed baseline: run the benchmark harness once and
+# compare against BENCH_BASELINE.json. Custom metrics are deterministic
+# reproduced model quantities — any drift fails; timing and allocation
+# deltas are host-dependent and only warn (benchjson prints them as
+# informational).
+ci-bench:
+	@tmp=$$(mktemp) && trap 'rm -f "$$tmp" "$$tmp.json"' EXIT && \
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=NONE -json . > "$$tmp" && \
+	$(GO) run ./scripts/benchjson < "$$tmp" > "$$tmp.json" && \
+	$(GO) run ./scripts/benchjson -compare BENCH_BASELINE.json "$$tmp.json"

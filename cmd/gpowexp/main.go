@@ -1,19 +1,31 @@
-// Command gpowexp regenerates the paper's evaluation artifacts: every table
-// and figure of the ISPASS 2013 GPUSimPow paper, plus the microbenchmark and
-// ablation studies.
+// Command gpowexp regenerates the paper's evaluation artifacts — every
+// table and figure of the ISPASS 2013 GPUSimPow paper, plus the
+// microbenchmark, DVFS and ablation studies — from the scenario registry
+// (internal/sweep). Scenarios are declarative sweeps; new ones register in
+// internal/experiments without touching this command.
 //
 // Usage:
 //
-//	gpowexp table2 | table4 | table5 | fig4 | fig6a | fig6b |
-//	        energyperop | staticextrap | ablation | all
+//	gpowexp list                                  # registered scenarios
+//	gpowexp run <name>... [-filter axis=v[,v]] [-stats] [-v]
+//	gpowexp all [-stats]                          # every paper artifact
+//	gpowexp <name>...                             # shorthand for run
+//
+// Examples:
+//
+//	gpowexp run fig6 -filter gpu=GT240
+//	gpowexp run dvfs -filter scale=0.5,1.0 -stats
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 
-	"gpusimpow/internal/experiments"
+	_ "gpusimpow/internal/experiments" // registers every scenario
+	"gpusimpow/internal/simcache"
+	"gpusimpow/internal/sweep"
 )
 
 func main() {
@@ -21,199 +33,133 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	for _, cmd := range os.Args[1:] {
-		if err := dispatch(cmd); err != nil {
-			fmt.Fprintln(os.Stderr, "gpowexp:", err)
-			os.Exit(1)
-		}
+	if err := dispatch(os.Args[1:]...); err != nil {
+		fmt.Fprintln(os.Stderr, "gpowexp:", err)
+		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gpowexp <table2|table4|table5|fig4|fig6a|fig6b|energyperop|staticextrap|dvfs|ablation|all> ...")
+	fmt.Fprintln(os.Stderr, `usage: gpowexp list
+       gpowexp run <scenario>... [-filter axis=value[,value]]... [-stats] [-v]
+       gpowexp all [-stats]
+       gpowexp <scenario>...`)
 }
 
-func dispatch(cmd string) error {
-	switch cmd {
-	case "table2":
-		return table2()
-	case "table4":
-		return table4()
-	case "table5":
-		return table5()
-	case "fig4":
-		return fig4()
-	case "fig6a":
-		return fig6("GT240")
-	case "fig6b":
-		return fig6("GTX580")
-	case "energyperop":
-		return energyPerOp()
-	case "staticextrap":
-		return staticExtrap()
-	case "ablation":
-		return ablation()
-	case "dvfs":
-		return dvfs()
+// dispatch interprets one command line (sans argv[0]).
+func dispatch(args ...string) error {
+	switch args[0] {
+	case "list":
+		return list(os.Stdout)
+	case "run":
+		return runCmd(args[1:])
 	case "all":
-		for _, c := range []string{"table2", "table4", "table5", "fig4", "fig6a", "fig6b", "energyperop", "staticextrap", "dvfs", "ablation"} {
-			if err := dispatch(c); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
+		return runCmd(append([]string{"-all"}, args[1:]...))
+	case "-h", "-help", "--help", "help":
+		usage()
 		return nil
 	default:
-		usage()
-		return fmt.Errorf("unknown command %q", cmd)
+		// Shorthand: bare scenario names run unfiltered (the pre-registry
+		// command surface: `gpowexp table2 fig6a dvfs`).
+		return runCmd(args)
 	}
 }
 
-func table2() error {
-	fmt.Println("Table II: key features of the evaluated GPU architectures")
-	fmt.Printf("%-20s %12s %12s\n", "Feature", "GT240", "GTX580")
-	for _, r := range experiments.Table2() {
-		fmt.Printf("%-20s %12s %12s\n", r.Feature, r.GT240, r.GTX580)
-	}
-	return nil
-}
-
-func table4() error {
-	rows, err := experiments.Table4()
-	if err != nil {
-		return err
-	}
-	fmt.Println("Table IV: static power and area (simulated vs. measured/datasheet)")
-	fmt.Printf("%-8s %-10s %12s %12s\n", "GPU", "", "Static [W]", "Area [mm2]")
-	for _, r := range rows {
-		fmt.Printf("%-8s %-10s %12.1f %12.1f\n", r.GPU, "Simulated", r.SimStaticW, r.SimAreaMM2)
-		fmt.Printf("%-8s %-10s %12.1f %12.1f\n", "", "Real", r.RealStaticW, r.RealAreaMM2)
-	}
-	return nil
-}
-
-func table5() error {
-	rep, err := experiments.Table5()
-	if err != nil {
-		return err
-	}
-	fmt.Println("Table V: blackscholes power breakdown on GT240")
-	return rep.WriteProfile(os.Stdout)
-}
-
-func fig4() error {
-	r, err := experiments.Fig4()
-	if err != nil {
-		return err
-	}
-	fmt.Println("Figure 4: GT240 power vs. thread block count (cluster staircase)")
-	fmt.Printf("idle (pre/post kernel): %.2f W\n", r.IdleW)
-	maxP := r.PowerPerBlocks[len(r.PowerPerBlocks)-1]
-	for i, p := range r.PowerPerBlocks {
-		bar := strings.Repeat("#", int(40*(p-r.IdleW)/(maxP-r.IdleW)))
-		fmt.Printf("%2d block(s): %6.2f W  |%s\n", i+1, p, bar)
-	}
-	fmt.Printf("first block delta: %.2f W (global scheduler + cluster + core)\n", r.FirstBlockDeltaW)
-	fmt.Printf("cluster step (blocks 2-4):  %.3f W\n", r.ClusterStepW)
-	fmt.Printf("core step (blocks 5-12):    %.3f W\n", r.CoreStepW)
-	fmt.Printf("cluster activation premium: %.3f W (paper: 0.692 W)\n", r.ClusterStepW-r.CoreStepW)
-	return nil
-}
-
-func fig6(gpu string) error {
-	r, err := experiments.Fig6(gpu)
-	if err != nil {
-		return err
-	}
-	sub := "6a"
-	if gpu == "GTX580" {
-		sub = "6b"
-	}
-	fmt.Printf("Figure %s: simulated vs. measured power, %s\n", sub, gpu)
-	fmt.Printf("%-14s %10s %10s %10s %10s %7s %s\n",
-		"Kernel", "SimStat", "SimDyn", "MeasStat", "MeasDyn", "Err%", "")
-	for _, b := range r.Bars {
-		note := ""
-		if b.ShortWindow {
-			note = "(short measurement window)"
+// list prints every registered scenario with its axes.
+func list(w io.Writer) error {
+	fmt.Fprintln(w, "Registered scenarios:")
+	for _, sc := range sweep.Scenarios() {
+		fmt.Fprintf(w, "  %-22s %s\n", sc.Name, sc.Title)
+		if sc.Spec != nil {
+			sp := sc.Spec()
+			for _, ax := range sp.Axes {
+				fmt.Fprintf(w, "  %-22s   axis %s:", "", ax.Name)
+				for _, v := range ax.Values {
+					fmt.Fprintf(w, " %s", v.Name)
+				}
+				fmt.Fprintln(w)
+			}
 		}
-		fmt.Printf("%-14s %10.2f %10.2f %10.2f %10.2f %7.1f %s\n",
-			b.Kernel, b.SimStaticW, b.SimDynamicW, b.MeasStaticW, b.MeasDynamicW, b.RelErrPct, note)
 	}
-	fmt.Printf("average relative error: %.1f%% (paper: %s)\n", r.AvgRelErrPct,
-		map[string]string{"GT240": "11.7%", "GTX580": "10.8%"}[gpu])
-	fmt.Printf("dynamic-only average relative error: %.1f%% (paper: %s)\n", r.DynAvgRelErrPct,
-		map[string]string{"GT240": "28.3%", "GTX580": "20.9%"}[gpu])
-	fmt.Printf("max relative error: %.1f%% on %s\n", r.MaxRelErrPct, r.MaxErrKernel)
-	fmt.Printf("kernels overestimated: %.0f%%\n", 100*r.OverestimatedFraction)
+	fmt.Fprintln(w, "\nRun with: gpowexp run <scenario> [-filter axis=value[,value]]")
 	return nil
 }
 
-func energyPerOp() error {
-	r, err := experiments.EnergyPerOp()
-	if err != nil {
-		return err
-	}
-	fmt.Println("Section III-D: execution unit energy via lane differencing")
-	fmt.Printf("INT: measured %.1f pJ/op (model anchor %.0f pJ; paper ~40 pJ)\n", r.IntOpPJ, r.NominalIntPJ)
-	fmt.Printf("FP:  measured %.1f pJ/op (model anchor %.0f pJ; paper ~75 pJ, NVIDIA reports 50 pJ)\n", r.FPOpPJ, r.NominalFPPJ)
-	return nil
-}
+// filterFlag collects repeatable -filter arguments.
+type filterFlag []string
 
-func staticExtrap() error {
-	r, err := experiments.StaticExtrapolation()
-	if err != nil {
-		return err
-	}
-	fmt.Println("Section IV-B: static power by frequency extrapolation (GT240)")
-	fmt.Printf("estimated %.2f W vs. true card leakage %.2f W (error %.1f%%)\n",
-		r.EstimatedStaticW, r.TrueStaticW, r.ErrPct)
-	return nil
-}
+func (f *filterFlag) String() string     { return fmt.Sprint(*f) }
+func (f *filterFlag) Set(v string) error { *f = append(*f, v); return nil }
 
-func dvfs() error {
-	r, err := experiments.DVFS()
-	if err != nil {
-		return err
-	}
-	fmt.Println("DVFS sweep: compute-bound kernel on the virtual GT240")
-	fmt.Printf("%8s %10s %12s %11s\n", "Clock", "Power W", "Kernel s", "Energy mJ")
-	for _, p := range r.Points {
-		fmt.Printf("%7.0f%% %10.2f %12.3g %11.4f\n", p.ClockScale*100, p.PowerW, p.KernelSeconds, p.EnergyMJ)
-	}
-	fmt.Printf("energy-optimal clock: %.0f%% (leakage-dominated cards race to idle)\n", r.MinEnergyScale*100)
-	return nil
-}
-
-func ablation() error {
-	print := func(title string, rows []experiments.AblationRow, err error) error {
-		if err != nil {
+// runCmd runs one or more scenarios with shared flags.
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var filters filterFlag
+	fs.Var(&filters, "filter", "restrict a sweep axis: axis=value[,value] (repeatable)")
+	stats := fs.Bool("stats", false, "print simulation-result cache statistics after the run")
+	verbose := fs.Bool("v", false, "stream per-cell progress to stderr")
+	all := fs.Bool("all", false, "run every paper artifact (the `all` command)")
+	// Accept flags before, between and after scenario names.
+	var names []string
+	rest := args
+	for {
+		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		fmt.Println("Ablation:", title)
-		fmt.Printf("  %-28s %10s %9s %9s %9s %10s\n", "Variant", "Cycles", "Total W", "Dyn W", "Stat W", "Energy mJ")
-		for _, r := range rows {
-			fmt.Printf("  %-28s %10d %9.2f %9.2f %9.2f %10.3f\n",
-				r.Variant, r.Cycles, r.TotalW, r.DynamicW, r.StaticW, r.EnergyMJ)
+		rest = fs.Args()
+		if len(rest) == 0 {
+			break
 		}
-		return nil
+		names = append(names, rest[0])
+		rest = rest[1:]
 	}
-	rows, err := experiments.AblationScoreboard()
-	if err := print("scoreboard vs. blocking issue", rows, err); err != nil {
+	if *all {
+		if len(names) > 0 {
+			return fmt.Errorf("`all` takes no scenario names")
+		}
+		names = []string{"table2", "table4", "table5", "fig4", "fig6a", "fig6b",
+			"energyperop", "staticextrap", "dvfs", "ablation"}
+	}
+	if len(names) == 0 {
+		usage()
+		return fmt.Errorf("no scenario named (see `gpowexp list`)")
+	}
+	f, err := sweep.ParseFilter(filters)
+	if err != nil {
 		return err
 	}
-	rows, err = experiments.AblationL2()
-	if err := print("L2 cache", rows, err); err != nil {
-		return err
+
+	if *verbose {
+		// Stream per-cell completions (plan order) for every sweep the
+		// scenarios execute.
+		sweep.SetProgress(func(p *sweep.Plan, cr *sweep.CellResult) {
+			fmt.Fprintf(os.Stderr, "gpowexp: [%d/%d] %s done\n", cr.Cell.Index+1, len(p.Cells), cr.Cell)
+		})
+		defer sweep.SetProgress(nil)
 	}
-	rows, err = experiments.AblationProcessNode()
-	if err := print("process node sweep", rows, err); err != nil {
-		return err
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := sweep.RunScenario(os.Stdout, name, f); err != nil {
+			return err
+		}
 	}
-	rows, err = experiments.AblationCoreCount()
-	if err := print("core count scaling", rows, err); err != nil {
-		return err
+	if *stats {
+		printCacheStats(os.Stderr)
 	}
-	rows, err = experiments.AblationScheduler()
-	return print("warp scheduler policy", rows, err)
+	return nil
+}
+
+// printCacheStats reports the process-wide simulation-result cache counters
+// after sweep jobs (the ROADMAP's cache observability item).
+func printCacheStats(w io.Writer) {
+	st := simcache.Default().Stats()
+	fmt.Fprintf(w, "sim-cache: %d entries (%.1f MiB", st.Entries, float64(st.Bytes)/(1<<20))
+	if st.BudgetBytes > 0 {
+		fmt.Fprintf(w, " of %.1f MiB budget", float64(st.BudgetBytes)/(1<<20))
+	}
+	fmt.Fprintf(w, "), %d hits, %d misses, %d evictions, %d bypasses\n",
+		st.Hits, st.Misses, st.Evictions, st.Bypasses)
 }

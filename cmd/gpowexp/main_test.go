@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpusimpow/internal/sweep"
+)
 
 // The heavyweight artifacts (fig6a/fig6b) are covered by the experiments
 // package tests and the root benchmarks; here the lighter commands run end
@@ -25,5 +31,45 @@ func TestDispatchFig4(t *testing.T) {
 func TestDispatchUnknown(t *testing.T) {
 	if err := dispatch("nonsense"); err == nil {
 		t.Error("unknown command should error")
+	}
+}
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := list(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig6", "dvfs", "ablation-processnode", "axis gpu:", "axis scale:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunWithFilter(t *testing.T) {
+	// A filtered DVFS run exercises run + repeatable -filter + -stats end
+	// to end on a cheap sweep.
+	if err := dispatch("run", "dvfs", "-filter", "scale=0.5,1.0", "-stats"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dispatch("run", "dvfs", "-filter", "scale=0.5", "-v"); err != nil {
+		t.Fatal(err)
+	}
+	sweep.SetProgress(nil)
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := dispatch("run"); err == nil {
+		t.Error("run with no scenario should error")
+	}
+	if err := dispatch("run", "dvfs", "-filter", "scale=2.0"); err == nil {
+		t.Error("unknown filter value should error")
+	}
+	if err := dispatch("run", "table2", "-filter", "gpu=GT240"); err == nil {
+		t.Error("filtering a non-sweep scenario should error")
+	}
+	if err := dispatch("run", "dvfs", "-filter", "garbage"); err == nil {
+		t.Error("malformed filter should error")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"gpusimpow/internal/bench"
 	"gpusimpow/internal/config"
 	"gpusimpow/internal/core"
+	"gpusimpow/internal/simcache"
 )
 
 func main() {
@@ -27,7 +28,7 @@ func main() {
 	static := flag.Bool("static", false, "print static power / area / peak dynamic and exit")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	dump := flag.String("dumpconfig", "", "write the named preset as XML to stdout and exit")
-	stats := flag.Bool("stats", false, "also print raw activity counters per kernel")
+	stats := flag.Bool("stats", false, "also print raw activity counters per kernel and simulation-cache statistics")
 	flag.Parse()
 
 	if err := run(*gpuName, *cfgPath, *benchName, *static, *list, *dump, *stats); err != nil {
@@ -116,5 +117,10 @@ func run(gpuName, cfgPath, benchName string, static, list bool, dump string, sta
 		return fmt.Errorf("verification FAILED: %w", err)
 	}
 	fmt.Println("verification: OK")
+	if stats {
+		st := simcache.Default().Stats()
+		fmt.Printf("sim-cache: %d entries (%.1f MiB), %d hits, %d misses, %d evictions, %d bypasses\n",
+			st.Entries, float64(st.Bytes)/(1<<20), st.Hits, st.Misses, st.Evictions, st.Bypasses)
+	}
 	return nil
 }

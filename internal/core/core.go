@@ -88,6 +88,67 @@ func (s *Simulator) EvaluatePower(tr *simcache.TimingResult) (*power.RuntimeRepo
 	return rt, nil
 }
 
+// PowerEvaluator is the pure power stage of GPUSimPow for one configuration:
+// a Simulator without the timing machinery. Sweep executors that partition a
+// grid by timing key build one full Simulator per timing group (it simulates
+// once) and one PowerEvaluator per power-parameter variant (each re-prices
+// the shared timing result), skipping the per-variant cost of constructing a
+// cycle-level simulator that would never run.
+type PowerEvaluator struct {
+	cfg *config.GPU
+	pow *power.Model
+}
+
+// NewPowerEvaluator builds the power stage alone for a configuration.
+func NewPowerEvaluator(cfg *config.GPU) (*PowerEvaluator, error) {
+	pow, err := power.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PowerEvaluator{cfg: cfg, pow: pow}, nil
+}
+
+// PowerEvaluator returns the simulator's own power stage (sharing its built
+// model), so a sweep group's leader does not rebuild the model it already
+// has.
+func (s *Simulator) PowerEvaluator() *PowerEvaluator {
+	return &PowerEvaluator{cfg: s.cfg, pow: s.pow}
+}
+
+// Config returns the evaluated configuration.
+func (p *PowerEvaluator) Config() *config.GPU { return p.cfg }
+
+// Static returns the workload-independent architectural estimates.
+func (p *PowerEvaluator) Static() *power.StaticReport { return p.pow.Static() }
+
+// EvaluatePower prices one timing snapshot under this evaluator's
+// configuration, exactly as Simulator.EvaluatePower would.
+func (p *PowerEvaluator) EvaluatePower(tr *simcache.TimingResult) (*power.RuntimeReport, error) {
+	rt, err := p.pow.Evaluate(tr.Perf)
+	if err != nil {
+		return nil, fmt.Errorf("core: power for %s: %w", tr.Kernel, err)
+	}
+	return rt, nil
+}
+
+// EvaluatePowerBatch evaluates one shared timing result under every power
+// variant, returning reports in argument order. This is the batched power
+// entry point of the simulate-once-evaluate-many pipeline: a sweep group
+// whose cells differ only in power-side parameters simulates its kernel once
+// and prices the resulting snapshot N times here. Bit-identical to N
+// sequential EvaluatePower calls (pinned by the core tests).
+func EvaluatePowerBatch(evs []*PowerEvaluator, tr *simcache.TimingResult) ([]*power.RuntimeReport, error) {
+	models := make([]*power.Model, len(evs))
+	for i, ev := range evs {
+		models[i] = ev.pow
+	}
+	rts, err := power.EvaluateBatch(models, tr.Perf)
+	if err != nil {
+		return nil, fmt.Errorf("core: batched power for %s: %w", tr.Kernel, err)
+	}
+	return rts, nil
+}
+
 // RunKernel simulates one kernel launch and evaluates its power: the
 // two-stage pipeline (Simulate, then EvaluatePower) as one call.
 func (s *Simulator) RunKernel(l *kernel.Launch, global *kernel.GlobalMem, cmem *kernel.ConstMem) (*KernelReport, error) {

@@ -195,3 +195,90 @@ func TestCachedVsFreshEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestEvaluatePowerBatchEquivalence pins the batched power entry point's
+// contract: one shared timing result priced under N power-parameter
+// variants through EvaluatePowerBatch is bit-identical to N sequential
+// EvaluatePower calls on per-variant evaluators (and to full per-variant
+// Simulators), including the leader's shared-model evaluator.
+func TestEvaluatePowerBatchEquivalence(t *testing.T) {
+	leader, err := New(config.GT240())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := bench.VectorAdd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := inst.Runs[0]
+	tr, err := leader.Simulate(r.Launch, inst.Mem, r.CMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Power variants of the same timing configuration: process node and
+	// energy-anchor changes only.
+	variants := []*config.GPU{config.GT240()}
+	for _, nm := range []float64{65, 32, 28} {
+		c := config.GT240()
+		c.ProcessNM = nm
+		variants = append(variants, c)
+	}
+	tuned := config.GT240()
+	tuned.Power.FPOpPJ *= 1.5
+	tuned.Power.DynScaleFactor *= 0.9
+	variants = append(variants, tuned)
+
+	evs := []*PowerEvaluator{leader.PowerEvaluator()}
+	for _, c := range variants[1:] {
+		ev, err := NewPowerEvaluator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, ev)
+	}
+
+	batch, err := EvaluatePowerBatch(evs, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(evs) {
+		t.Fatalf("%d batch reports, want %d", len(batch), len(evs))
+	}
+	for i, ev := range evs {
+		seq, err := ev.EvaluatePower(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], seq) {
+			t.Errorf("variant %d: batched report differs from sequential EvaluatePower", i)
+		}
+		// Cross-check against a full Simulator for the same variant (the
+		// pre-batching way to price a variant).
+		full, err := New(variants[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := full.EvaluatePower(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], want) {
+			t.Errorf("variant %d: batched report differs from full-simulator evaluation", i)
+		}
+	}
+
+	// The evaluator's static report matches the full simulator's.
+	if !reflect.DeepEqual(evs[1].Static(), mustNew(t, variants[1]).Static()) {
+		t.Error("PowerEvaluator.Static diverged from Simulator.Static")
+	}
+}
+
+func mustNew(t *testing.T, cfg *config.GPU) *Simulator {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -4,15 +4,18 @@ import (
 	"fmt"
 
 	"gpusimpow/internal/config"
-	"gpusimpow/internal/core"
 	"gpusimpow/internal/kernel"
-	"gpusimpow/internal/runner"
+	"gpusimpow/internal/sweep"
 )
 
 // ---------------------------------------------------------------------------
 // E10: design-choice ablations — the kind of architectural what-if studies
 // the paper positions GPUSimPow for ("architects can evaluate design choices
-// early from a power perspective").
+// early from a power perspective"). Every study is a one-axis sweep over
+// configuration variants on a fixed workload; the planner groups variants
+// that share a timing key (the process-node sweep: every node differs only
+// in power parameters), so such studies simulate once and batch-evaluate
+// the power model per variant.
 // ---------------------------------------------------------------------------
 
 // AblationRow is one configuration variant's outcome on a fixed workload.
@@ -66,60 +69,6 @@ func ablationKernel(cfg *config.GPU) (*kernel.Launch, *kernel.GlobalMem) {
 	}, mem
 }
 
-// runVariant evaluates one configuration variant on the workload kernelFn
-// builds and condenses the outcome into an AblationRow. The two stages are
-// explicit: the timing stage goes through the simulation-result cache, so
-// variants that differ only in power-side parameters (the process-node
-// sweep: every node shares one timing key) simulate once and re-evaluate
-// the analytic model per variant.
-func runVariant(name string, cfg *config.GPU, kernelFn func(*config.GPU) (*kernel.Launch, *kernel.GlobalMem)) (AblationRow, error) {
-	simr, err := core.New(cfg)
-	if err != nil {
-		return AblationRow{}, err
-	}
-	l, mem := kernelFn(cfg)
-	tr, err := simr.Simulate(l, mem, nil)
-	if err != nil {
-		return AblationRow{}, err
-	}
-	p, err := simr.EvaluatePower(tr)
-	if err != nil {
-		return AblationRow{}, err
-	}
-	row := AblationRow{
-		Variant:  name,
-		Cycles:   tr.Perf.Activity.Cycles,
-		TotalW:   p.TotalW,
-		DynamicW: p.DynamicW,
-		StaticW:  p.StaticW,
-		EnergyMJ: p.TotalW * p.Seconds * 1e3,
-	}
-	row.EDPnJs = row.EnergyMJ * p.Seconds * 1e3
-	return row, nil
-}
-
-// AblationScoreboard compares blocking barrel issue against scoreboarded
-// issue on an otherwise identical GT240-class core.
-func AblationScoreboard() ([]AblationRow, error) {
-	base := config.GT240()
-	sb := config.GT240()
-	sb.Name = "GT240+scoreboard"
-	sb.HasScoreboard = true
-	sb.ScoreboardEntries = 6
-	return runVariants([]namedCfg{{"blocking issue (GT240)", base}, {"scoreboarded issue", sb}})
-}
-
-// AblationL2 compares the GTX580 with and without its L2 cache on a
-// reuse-heavy workload (every block re-reads the same array — the access
-// pattern an L2 exists for).
-func AblationL2() ([]AblationRow, error) {
-	base := config.GTX580()
-	no := config.GTX580()
-	no.Name = "GTX580-noL2"
-	no.L2KB = 0
-	return runVariantsOn([]namedCfg{{"768KB L2 (GTX580)", base}, {"no L2", no}}, l2ReuseKernel)
-}
-
 // l2ReuseKernel: every block gathers pseudo-randomly from one shared array,
 // so an L2 captures cross-block reuse that DRAM otherwise pays for.
 func l2ReuseKernel(cfg *config.GPU) (*kernel.Launch, *kernel.GlobalMem) {
@@ -164,68 +113,181 @@ func l2ReuseKernel(cfg *config.GPU) (*kernel.Launch, *kernel.GlobalMem) {
 	}, mem
 }
 
-// AblationProcessNode sweeps the manufacturing node, the ITRS-style scaling
-// study McPAT integration enables.
-func AblationProcessNode() ([]AblationRow, error) {
-	var variants []namedCfg
-	for _, nm := range []float64{65, 45, 40, 32, 28} {
-		c := config.GT240()
-		c.Name = fmt.Sprintf("GT240@%.0fnm", nm)
-		c.ProcessNM = nm
-		variants = append(variants, namedCfg{c.Name, c})
+// kernelWorkload adapts a (launch, mem)-builder into a one-unit sweep
+// workload.
+func kernelWorkload(kernelFn func(*config.GPU) (*kernel.Launch, *kernel.GlobalMem)) *sweep.Workload {
+	var name string
+	{
+		// The program name identifies the workload; build once against a
+		// reference config just for the name (builders are cheap and pure).
+		l, _ := kernelFn(config.GT240())
+		name = l.Prog.Name
 	}
-	return runVariants(variants)
+	return &sweep.Workload{
+		Name: name,
+		Build: func(cfg *config.GPU) (*sweep.Instance, error) {
+			l, mem := kernelFn(cfg)
+			return &sweep.Instance{Mem: mem, Units: []sweep.Unit{{Name: l.Prog.Name, Launch: l}}}, nil
+		},
+	}
 }
 
-// AblationCoreCount scales the core count at constant cluster shape,
+// ablationSpec assembles one design-choice study: a variant axis over
+// configurations, the standard two-stage sim+power pipeline, no
+// measurement.
+func ablationSpec(name, title string, variants []sweep.Value, kernelFn func(*config.GPU) (*kernel.Launch, *kernel.GlobalMem)) *sweep.Spec {
+	w := kernelWorkload(kernelFn)
+	return &sweep.Spec{
+		Name:     name,
+		Title:    title,
+		Axes:     []sweep.Axis{{Name: "variant", Values: variants}},
+		Workload: func(*sweep.Cell) (*sweep.Workload, error) { return w, nil },
+		Sim:      true, Power: true,
+	}
+}
+
+// runAblation plans, runs and reduces one study into its rows (variant
+// order = axis order), optionally filtered — the one reduction both the
+// Ablation* functions and the CLI printer go through, so the printed rows
+// are the same arithmetic the equivalence tests pin.
+func runAblation(spec *sweep.Spec, f sweep.Filter) ([]AblationRow, error) {
+	plan, err := spec.Plan(f)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := plan.Run(nil)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, len(rs))
+	for i, cr := range rs {
+		u := &cr.Units[0]
+		p := u.Power
+		row := AblationRow{
+			Variant:  cr.Cell.Label("variant"),
+			Cycles:   u.Timing.Perf.Activity.Cycles,
+			TotalW:   p.TotalW,
+			DynamicW: p.DynamicW,
+			StaticW:  p.StaticW,
+			EnergyMJ: p.TotalW * p.Seconds * 1e3,
+		}
+		row.EDPnJs = row.EnergyMJ * p.Seconds * 1e3
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// AblationScoreboardSpec compares blocking barrel issue against scoreboarded
+// issue on an otherwise identical GT240-class core.
+func AblationScoreboardSpec() *sweep.Spec {
+	return ablationSpec("ablation-scoreboard", "Ablation: scoreboard vs. blocking issue (GT240)",
+		[]sweep.Value{
+			{Name: "blocking", Label: "blocking issue (GT240)", Base: config.GT240},
+			{Name: "scoreboard", Label: "scoreboarded issue", Base: func() *config.GPU {
+				sb := config.GT240()
+				sb.Name = "GT240+scoreboard"
+				sb.HasScoreboard = true
+				sb.ScoreboardEntries = 6
+				return sb
+			}},
+		}, ablationKernel)
+}
+
+// AblationScoreboard runs the scoreboard study.
+func AblationScoreboard() ([]AblationRow, error) { return runAblation(AblationScoreboardSpec(), nil) }
+
+// AblationL2Spec compares the GTX580 with and without its L2 cache on a
+// reuse-heavy workload (every block re-reads the same array — the access
+// pattern an L2 exists for).
+func AblationL2Spec() *sweep.Spec {
+	return ablationSpec("ablation-l2", "Ablation: L2 cache on a reuse-heavy workload (GTX580)",
+		[]sweep.Value{
+			{Name: "l2", Label: "768KB L2 (GTX580)", Base: config.GTX580},
+			{Name: "nol2", Label: "no L2", Base: func() *config.GPU {
+				no := config.GTX580()
+				no.Name = "GTX580-noL2"
+				no.L2KB = 0
+				return no
+			}},
+		}, l2ReuseKernel)
+}
+
+// AblationL2 runs the L2 study.
+func AblationL2() ([]AblationRow, error) { return runAblation(AblationL2Spec(), nil) }
+
+// AblationProcessNodeSpec sweeps the manufacturing node, the ITRS-style
+// scaling study McPAT integration enables. The node is a power-only
+// parameter, so the whole sweep is one timing group: one simulation, five
+// batched power evaluations.
+func AblationProcessNodeSpec() *sweep.Spec {
+	var variants []sweep.Value
+	for _, nm := range []float64{65, 45, 40, 32, 28} {
+		nm := nm
+		name := fmt.Sprintf("GT240@%.0fnm", nm)
+		variants = append(variants, sweep.Value{
+			Name:  fmt.Sprintf("%.0fnm", nm),
+			Label: name,
+			Mutate: func(c *config.GPU) {
+				c.Name = name
+				c.ProcessNM = nm
+			},
+		})
+	}
+	sp := ablationSpec("ablation-processnode", "Ablation: process node sweep (GT240)", variants, ablationKernel)
+	sp.Base = config.GT240
+	return sp
+}
+
+// AblationProcessNode runs the process-node study.
+func AblationProcessNode() ([]AblationRow, error) { return runAblation(AblationProcessNodeSpec(), nil) }
+
+// AblationCoreCountSpec scales the core count at constant cluster shape,
 // exercising the "coherently simulate an architecture with a varied number
 // of cores" claim of Section III-A.
-func AblationCoreCount() ([]AblationRow, error) {
-	var variants []namedCfg
+func AblationCoreCountSpec() *sweep.Spec {
+	var variants []sweep.Value
 	for _, clusters := range []int{2, 4, 6, 8} {
+		clusters := clusters
 		c := config.GT240()
-		c.Name = fmt.Sprintf("GT240x%dclusters", clusters)
 		c.Clusters = clusters
-		variants = append(variants, namedCfg{fmt.Sprintf("%d cores (%d clusters)", c.NumCores(), clusters), c})
+		variants = append(variants, sweep.Value{
+			Name:  fmt.Sprintf("%dclusters", clusters),
+			Label: fmt.Sprintf("%d cores (%d clusters)", c.NumCores(), clusters),
+			Mutate: func(c *config.GPU) {
+				c.Name = fmt.Sprintf("GT240x%dclusters", clusters)
+				c.Clusters = clusters
+			},
+		})
 	}
-	return runVariants(variants)
+	sp := ablationSpec("ablation-corecount", "Ablation: core count scaling (GT240)", variants, ablationKernel)
+	sp.Base = config.GT240
+	return sp
 }
 
-// AblationScheduler compares the warp scheduling policies the paper's
+// AblationCoreCount runs the core-count study.
+func AblationCoreCount() ([]AblationRow, error) { return runAblation(AblationCoreCountSpec(), nil) }
+
+// AblationSchedulerSpec compares the warp scheduling policies the paper's
 // conclusion proposes evaluating "from a power perspective": rotating
 // priority (baseline), greedy-then-oldest, and two-level scheduling with a
 // narrow active set (and hence a narrower arbitration encoder).
-func AblationScheduler() ([]AblationRow, error) {
-	var variants []namedCfg
+func AblationSchedulerSpec() *sweep.Spec {
+	var variants []sweep.Value
 	for _, pol := range []string{"rr", "gto", "twolevel"} {
-		c := config.GTX580()
-		c.Name = "GTX580-" + pol
-		c.SchedulerPolicy = pol
-		variants = append(variants, namedCfg{pol + " scheduler", c})
+		pol := pol
+		variants = append(variants, sweep.Value{
+			Name:  pol,
+			Label: pol + " scheduler",
+			Mutate: func(c *config.GPU) {
+				c.Name = "GTX580-" + pol
+				c.SchedulerPolicy = pol
+			},
+		})
 	}
-	return runVariants(variants)
+	sp := ablationSpec("ablation-scheduler", "Ablation: warp scheduler policy (GTX580)", variants, ablationKernel)
+	sp.Base = config.GTX580
+	return sp
 }
 
-type namedCfg struct {
-	name string
-	cfg  *config.GPU
-}
-
-// runVariants fans the variants out over the worker pool on the standard
-// ablation workload; rows come back in variant order.
-func runVariants(vs []namedCfg) ([]AblationRow, error) {
-	return runVariantsOn(vs, ablationKernel)
-}
-
-// runVariantsOn runs every variant on the workload kernelFn builds. Each
-// variant owns its configuration, simulator and memory image, so the jobs
-// are independent and safe to run concurrently.
-func runVariantsOn(vs []namedCfg, kernelFn func(*config.GPU) (*kernel.Launch, *kernel.GlobalMem)) ([]AblationRow, error) {
-	return runner.Map(len(vs), func(i int) (AblationRow, error) {
-		row, err := runVariant(vs[i].name, vs[i].cfg, kernelFn)
-		if err != nil {
-			return AblationRow{}, fmt.Errorf("experiments: variant %s: %w", vs[i].name, err)
-		}
-		return row, nil
-	})
-}
+// AblationScheduler runs the scheduler-policy study.
+func AblationScheduler() ([]AblationRow, error) { return runAblation(AblationSchedulerSpec(), nil) }

@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"gpusimpow/internal/config"
-	"gpusimpow/internal/hw"
-	"gpusimpow/internal/runner"
+	"gpusimpow/internal/sweep"
 )
 
 // ---------------------------------------------------------------------------
@@ -35,44 +34,69 @@ type DVFSResult struct {
 	MinEnergyScale float64
 }
 
+// fpBusyWorkload is the compute-bound kernel occupying every core of the
+// configured card (one resident block per core... times two, fully unrolled
+// inner loop), measured over the reliable 150 ms window.
+var fpBusyWorkload = &sweep.Workload{
+	Name: "fpBusy",
+	Build: func(cfg *config.GPU) (*sweep.Instance, error) {
+		l, mem := busyFPKernel(cfg.NumCores()*2, 256, 40)
+		return &sweep.Instance{Mem: mem, Units: []sweep.Unit{
+			{Name: l.Prog.Name, Launch: l, MinWindowS: 0.150},
+		}}, nil
+	},
+}
+
+// DVFSSpec declares the clock-scale sweep on the virtual GT240: six
+// operating points, each measured on its own card session. Cycle counts are
+// clock-invariant (the card applies clock scaling analytically), so the
+// planner folds all six cells into one timing group — the sweep simulates
+// the kernel once and measures six times.
+func DVFSSpec() *sweep.Spec {
+	var vals []sweep.Value
+	for _, s := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		vals = append(vals, sweep.Value{Name: fmt.Sprintf("%.1f", s), ClockScale: s})
+	}
+	return &sweep.Spec{
+		Name:     "dvfs",
+		Title:    "DVFS energy study: compute-bound kernel across clock scales (GT240)",
+		Axes:     []sweep.Axis{{Name: "scale", Values: vals}},
+		Base:     config.GT240,
+		Workload: func(*sweep.Cell) (*sweep.Workload, error) { return fpBusyWorkload, nil },
+		Measure:  true,
+		Session:  func(c *sweep.Cell) string { return "dvfs/" + c.Value("scale") },
+	}
+}
+
 // DVFS measures a compute-bound kernel across clock scales on the virtual
-// GT240. Each operating point runs on its own card instance (the silicon
-// perturbation is seeded by the card name, so every instance is the same
-// "board"), which makes the points independent jobs for the worker pool.
-//
-// Cycle counts are clock-invariant — the card applies clock scaling
-// analytically after the timing stage — so all six operating points share
-// one content-addressed timing result: the first job to reach the
-// simulation-result cache simulates the kernel (concurrent jobs are
-// single-flighted behind it) and the rest re-evaluate only the power side.
+// GT240 through the sweep engine and reduces the energy curve.
 func DVFS() (*DVFSResult, error) {
-	scales := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
-	points, err := runner.Map(len(scales), func(i int) (DVFSPoint, error) {
-		card, err := hw.NewCardSession(config.GT240(), fmt.Sprintf("dvfs/%.1f", scales[i]))
-		if err != nil {
-			return DVFSPoint{}, err
-		}
-		if err := card.SetClockScale(scales[i]); err != nil {
-			return DVFSPoint{}, err
-		}
-		l, mem := microFPBusy(card)
-		m, err := card.MeasureKernel(l, mem, nil, 0)
-		if err != nil {
-			return DVFSPoint{}, err
-		}
-		return DVFSPoint{
-			ClockScale:    scales[i],
-			PowerW:        m.AvgPowerW,
-			KernelSeconds: m.TrueKernelSeconds,
-			EnergyMJ:      m.AvgPowerW * m.TrueKernelSeconds * 1e3,
-		}, nil
-	})
+	return runDVFS(nil)
+}
+
+// runDVFS plans, runs and reduces the sweep, optionally filtered — the one
+// reduction both DVFS() and the CLI printer go through, so the printed
+// curve is the same arithmetic the equivalence tests pin.
+func runDVFS(f sweep.Filter) (*DVFSResult, error) {
+	plan, err := DVFSSpec().Plan(f)
 	if err != nil {
 		return nil, err
 	}
-	res := &DVFSResult{Points: points, MinEnergyScale: 1}
+	rs, err := plan.Run(nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &DVFSResult{MinEnergyScale: 1}
 	best := 0.0
-	for _, pt := range points {
+	for _, cr := range rs {
+		m := cr.Units[0].Meas
+		pt := DVFSPoint{
+			ClockScale:    cr.Cell.ClockScale,
+			PowerW:        m.AvgPowerW,
+			KernelSeconds: m.TrueKernelSeconds,
+			EnergyMJ:      m.AvgPowerW * m.TrueKernelSeconds * 1e3,
+		}
+		res.Points = append(res.Points, pt)
 		if best == 0 || pt.EnergyMJ < best {
 			best = pt.EnergyMJ
 			res.MinEnergyScale = pt.ClockScale

@@ -1,0 +1,105 @@
+package experiments
+
+// Equivalence contract of the sweep-engine refactor: every experiment
+// re-expressed as a declarative sweep reports bit-identical metrics to the
+// pre-refactor hand-rolled implementation (preserved in legacy_test.go).
+// reflect.DeepEqual over the result structs compares every float bit for
+// bit — no tolerance. `make race` runs these under the race detector, which
+// also exercises the engine's group fan-out concurrently with the legacy
+// runner.Map fan-out against the shared simulation-result cache.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSweepEquivalenceDVFS(t *testing.T) {
+	want, err := legacyDVFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DVFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sweep DVFS diverged from legacy path:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSweepEquivalenceAblations(t *testing.T) {
+	cases := []struct {
+		name   string
+		legacy func() ([]AblationRow, error)
+		sweep  func() ([]AblationRow, error)
+	}{
+		{"scoreboard", legacyAblationScoreboard, AblationScoreboard},
+		{"l2", legacyAblationL2, AblationL2},
+		{"processnode", legacyAblationProcessNode, AblationProcessNode},
+		{"corecount", legacyAblationCoreCount, AblationCoreCount},
+		{"scheduler", legacyAblationScheduler, AblationScheduler},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := tc.legacy()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tc.sweep()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("sweep ablation diverged from legacy path:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestSweepEquivalenceEnergyPerOp(t *testing.T) {
+	want, err := legacyEnergyPerOp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EnergyPerOp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sweep EnergyPerOp diverged from legacy path:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSweepEquivalenceFig6GT240(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full validation sweep in -short mode")
+	}
+	want, err := legacyFig6("GT240")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Fig6("GT240")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sweep Fig6 diverged from legacy path:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSweepEquivalenceFig6GTX580(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full validation sweep in -short mode")
+	}
+	want, err := legacyFig6("GTX580")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Fig6("GTX580")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sweep Fig6 diverged from legacy path:\n got %+v\nwant %+v", got, want)
+	}
+}

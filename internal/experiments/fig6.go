@@ -9,7 +9,7 @@ import (
 	"gpusimpow/internal/config"
 	"gpusimpow/internal/core"
 	"gpusimpow/internal/hw"
-	"gpusimpow/internal/runner"
+	"gpusimpow/internal/sweep"
 )
 
 // Fig6Bar is one bar pair of Figure 6: one kernel's simulated and measured
@@ -55,7 +55,72 @@ type Fig6Result struct {
 	OverestimatedFraction float64
 }
 
-// fig6Agg is the per-kernel aggregate one benchmark job contributes.
+// benchWorkload wraps one Table I benchmark as a sweep workload: the units
+// are the benchmark's launches in execution order (sharing one memory
+// image), annotated with Figure 6's measurement policy — repeat-capped
+// kernels keep their cap, everything else stretches to the reliable window.
+func benchWorkload(f bench.Factory) *sweep.Workload {
+	return &sweep.Workload{
+		Name: f.Name,
+		Build: func(cfg *config.GPU) (*sweep.Instance, error) {
+			inst, err := f.Make()
+			if err != nil {
+				return nil, err
+			}
+			units := make([]sweep.Unit, len(inst.Runs))
+			for i, r := range inst.Runs {
+				units[i] = sweep.Unit{Name: r.Name, Launch: r.Launch, CMem: r.CMem, GapS: 0.01}
+				if r.MaxRepeats > 0 {
+					units[i].Repeats = r.MaxRepeats
+				} else {
+					units[i].MinWindowS = measureWindowS
+				}
+			}
+			return &sweep.Instance{Mem: inst.Mem, Units: units, Verify: inst.Verify}, nil
+		},
+	}
+}
+
+// gpuAxis is the validated-GPUs axis shared by sweeps that run on both
+// cards.
+func gpuAxis() sweep.Axis {
+	return sweep.Axis{Name: "gpu", Values: []sweep.Value{
+		{Name: "GT240", Base: config.GT240},
+		{Name: "GTX580", Base: config.GTX580},
+	}}
+}
+
+// Fig6Spec declares the full Figure 6 validation grid: every Table I +
+// needle benchmark simulated with GPUSimPow and measured on the matching
+// virtual card, over both validated GPUs. Each (gpu, bench) cell is its own
+// timing group; the simulator side fills the timing cache and the card side
+// (whose silicon perturbation is power-only, hence timing-key-equal)
+// replays it.
+func Fig6Spec() *sweep.Spec {
+	var benchVals []sweep.Value
+	for _, f := range bench.Suite() {
+		benchVals = append(benchVals, sweep.Value{Name: f.Name})
+	}
+	return &sweep.Spec{
+		Name:  "fig6",
+		Title: "Figure 6: simulated vs. measured power over the benchmark suite",
+		Axes: []sweep.Axis{
+			gpuAxis(),
+			{Name: "bench", Values: benchVals},
+		},
+		Workload: func(c *sweep.Cell) (*sweep.Workload, error) {
+			f, err := bench.ByName(c.Value("bench"))
+			if err != nil {
+				return nil, err
+			}
+			return benchWorkload(f), nil
+		},
+		Sim: true, Power: true, Verify: true, Measure: true,
+		Session: func(c *sweep.Cell) string { return "fig6/" + c.Value("bench") },
+	}
+}
+
+// fig6Agg is the per-kernel aggregate one benchmark cell contributes.
 type fig6Agg struct {
 	name                string
 	simTotal, measTotal float64
@@ -63,57 +128,67 @@ type fig6Agg struct {
 	short               bool
 }
 
-// Fig6 runs the full validation of Figure 6 for the named GPU ("GT240" for
-// 6a, "GTX580" for 6b): every Table I + needle kernel is simulated with
-// GPUSimPow and measured on the virtual card, and per-kernel relative errors
-// are aggregated. The benchmarks are independent of one another (each job
-// builds its own simulator, card and memory image; only the launches within
-// one benchmark share state), so they fan out over the runner's worker pool.
+// Fig6 runs the validation of Figure 6 for the named GPU ("GT240" for 6a,
+// "GTX580" for 6b) through the sweep engine and aggregates per-kernel
+// relative errors.
 func Fig6(gpuName string) (*Fig6Result, error) {
-	mk, ok := config.Presets()[gpuName]
-	if !ok {
+	if _, ok := config.Presets()[gpuName]; !ok {
 		return nil, fmt.Errorf("experiments: unknown GPU %q", gpuName)
 	}
-	simr, err := core.New(mk())
+	plan, err := Fig6Spec().Plan(sweep.Filter{"gpu": {gpuName}})
 	if err != nil {
 		return nil, err
 	}
+	rs, err := plan.Run(nil)
+	if err != nil {
+		return nil, err
+	}
+	return fig6Reduce(gpuName, rs)
+}
+
+// fig6Reduce folds the sweep's cell results into the figure: per-kernel
+// aggregation in cell order (multi-launch kernels average arithmetically),
+// against the per-card static power estimated with the methodology
+// available for each card.
+func fig6Reduce(gpuName string, rs []*sweep.CellResult) (*Fig6Result, error) {
+	mk := config.Presets()[gpuName]
+
+	// Simulated static power from the model, measured static power from the
+	// card (paper Section IV-B / V-A), estimated once per card.
+	ev, err := core.NewPowerEvaluator(mk())
+	if err != nil {
+		return nil, err
+	}
+	simStatic := ev.Static().StaticW
 	card, err := hw.NewCard(mk())
 	if err != nil {
 		return nil, err
 	}
-
-	// Measured static power, estimated once per card with the methodology
-	// available for it (paper Section IV-B / V-A).
 	measStatic, err := measuredStaticFor(card)
 	if err != nil {
 		return nil, err
 	}
-	simStatic := simr.Static().StaticW
 
-	suite := bench.Suite()
-	perBench, err := runner.Map(len(suite), func(i int) ([]fig6Agg, error) {
-		return fig6Benchmark(mk, suite[i])
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// Deterministic merge in suite order (runner.Map preserves indices).
+	// Deterministic merge in cell (= suite) order.
 	perKernel := map[string]*fig6Agg{}
 	var order []string
-	for _, aggs := range perBench {
-		for _, ka := range aggs {
-			a := perKernel[ka.name]
+	for _, cr := range rs {
+		for i := range cr.Units {
+			ur := &cr.Units[i]
+			a := perKernel[ur.Unit.Name]
 			if a == nil {
-				a = &fig6Agg{name: ka.name}
-				perKernel[ka.name] = a
-				order = append(order, ka.name)
+				a = &fig6Agg{name: ur.Unit.Name}
+				perKernel[ur.Unit.Name] = a
+				order = append(order, ur.Unit.Name)
 			}
-			a.simTotal += ka.simTotal
-			a.measTotal += ka.measTotal
-			a.n += ka.n
-			a.short = a.short || ka.short
+			a.simTotal += ur.Power.TotalW + ur.Power.DRAMW
+			a.measTotal += ur.Meas.AvgPowerW
+			a.n++
+			// The short-window flag matters only for kernels whose repeat
+			// count is capped (in-place kernels that cannot be stretched).
+			if ur.Meas.ShortWindow && ur.Unit.Repeats > 0 {
+				a.short = true
+			}
 		}
 	}
 
@@ -153,88 +228,6 @@ func Fig6(gpuName string) (*Fig6Result, error) {
 	res.DynAvgRelErrPct = sumDynErr / n
 	res.OverestimatedFraction = float64(over) / n
 	return res, nil
-}
-
-// fig6Benchmark simulates and measures one benchmark end to end: the
-// simulator side on a fresh GPUSimPow instance, the hardware side on a fresh
-// virtual card (same silicon — cards are seeded by name — so results stay
-// deterministic regardless of worker interleaving).
-func fig6Benchmark(mk func() *config.GPU, f bench.Factory) ([]fig6Agg, error) {
-	simr, err := core.New(mk())
-	if err != nil {
-		return nil, err
-	}
-	// Same card, per-benchmark measurement session: identical silicon and
-	// rig calibration, independent DAQ noise (not a replay of one stream).
-	card, err := hw.NewCardSession(mk(), "fig6/"+f.Name)
-	if err != nil {
-		return nil, err
-	}
-
-	perKernel := map[string]*fig6Agg{}
-	var order []string
-
-	// Simulator side, explicitly two-stage: the timing results enter the
-	// shared simulation-result cache here, and the hardware side below (the
-	// card's silicon differs only in power anchors, hence shares the timing
-	// key) replays them instead of simulating the same launches again.
-	simInst, err := f.Make()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", f.Name, err)
-	}
-	for _, r := range simInst.Runs {
-		tr, err := simr.Simulate(r.Launch, simInst.Mem, r.CMem)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: simulating %s/%s: %w", f.Name, r.Name, err)
-		}
-		rt, err := simr.EvaluatePower(tr)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: power for %s/%s: %w", f.Name, r.Name, err)
-		}
-		a := perKernel[r.Name]
-		if a == nil {
-			a = &fig6Agg{name: r.Name}
-			perKernel[r.Name] = a
-			order = append(order, r.Name)
-		}
-		a.simTotal += rt.TotalW + rt.DRAMW
-		a.n++
-	}
-	if err := simInst.Verify(); err != nil {
-		return nil, fmt.Errorf("experiments: %s failed verification on the simulator: %w", f.Name, err)
-	}
-
-	// Hardware side: a fresh instance measured kernel by kernel.
-	hwInst, err := f.Make()
-	if err != nil {
-		return nil, err
-	}
-	items := make([]hw.SeqItem, len(hwInst.Runs))
-	for i, r := range hwInst.Runs {
-		items[i] = hw.SeqItem{Launch: r.Launch, Mem: hwInst.Mem, CMem: r.CMem, GapS: 0.01}
-		if r.MaxRepeats > 0 {
-			items[i].Repeats = r.MaxRepeats
-		} else {
-			items[i].MinWindowS = measureWindowS
-		}
-	}
-	_, ms, err := card.MeasureSequence(items)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: measuring %s: %w", f.Name, err)
-	}
-	for i, m := range ms {
-		a := perKernel[hwInst.Runs[i].Name]
-		a.measTotal += m.AvgPowerW
-		if m.ShortWindow && hwInst.Runs[i].MaxRepeats > 0 {
-			a.short = true
-		}
-	}
-
-	out := make([]fig6Agg, 0, len(order))
-	for _, name := range order {
-		out = append(out, *perKernel[name])
-	}
-	return out, nil
 }
 
 // measuredStaticFor applies the per-card static estimation methodology:

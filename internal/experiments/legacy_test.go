@@ -1,0 +1,380 @@
+package experiments
+
+// This file preserves the pre-sweep-engine implementations of the grid
+// experiments — hand-rolled loops over runner.Map, exactly as they shipped
+// before internal/sweep existed — as the reference side of the equivalence
+// tests in equivalence_test.go. The refactor's contract is that re-routing
+// every experiment through the declarative engine changes no reported
+// metric bit: same simulations (shared content-addressed cache), same card
+// sessions, same measurement order, same aggregation arithmetic.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpusimpow/internal/bench"
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/core"
+	"gpusimpow/internal/hw"
+	"gpusimpow/internal/kernel"
+	"gpusimpow/internal/runner"
+)
+
+// legacyFig6 is the pre-refactor Fig6.
+func legacyFig6(gpuName string) (*Fig6Result, error) {
+	mk, ok := config.Presets()[gpuName]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown GPU %q", gpuName)
+	}
+	simr, err := core.New(mk())
+	if err != nil {
+		return nil, err
+	}
+	card, err := hw.NewCard(mk())
+	if err != nil {
+		return nil, err
+	}
+
+	measStatic, err := measuredStaticFor(card)
+	if err != nil {
+		return nil, err
+	}
+	simStatic := simr.Static().StaticW
+
+	suite := bench.Suite()
+	perBench, err := runner.Map(len(suite), func(i int) ([]fig6Agg, error) {
+		return legacyFig6Benchmark(mk, suite[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	perKernel := map[string]*fig6Agg{}
+	var order []string
+	for _, aggs := range perBench {
+		for _, ka := range aggs {
+			a := perKernel[ka.name]
+			if a == nil {
+				a = &fig6Agg{name: ka.name}
+				perKernel[ka.name] = a
+				order = append(order, ka.name)
+			}
+			a.simTotal += ka.simTotal
+			a.measTotal += ka.measTotal
+			a.n += ka.n
+			a.short = a.short || ka.short
+		}
+	}
+
+	res := &Fig6Result{GPU: gpuName}
+	sort.Strings(order)
+	var sumErr, sumDynErr float64
+	over := 0
+	for _, name := range order {
+		a := perKernel[name]
+		simTotal := a.simTotal / float64(a.n)
+		measTotal := a.measTotal / float64(a.n)
+		bar := Fig6Bar{
+			Kernel:       name,
+			SimStaticW:   simStatic,
+			SimDynamicW:  simTotal - simStatic,
+			MeasStaticW:  measStatic,
+			MeasDynamicW: measTotal - measStatic,
+			ShortWindow:  a.short,
+			Executions:   a.n,
+		}
+		bar.RelErrPct = 100 * math.Abs(simTotal-measTotal) / measTotal
+		res.Bars = append(res.Bars, bar)
+		sumErr += bar.RelErrPct
+		if bar.RelErrPct > res.MaxRelErrPct {
+			res.MaxRelErrPct = bar.RelErrPct
+			res.MaxErrKernel = name
+		}
+		if bar.MeasDynamicW > 0 {
+			sumDynErr += 100 * math.Abs(bar.SimDynamicW-bar.MeasDynamicW) / bar.MeasDynamicW
+		}
+		if simTotal > measTotal {
+			over++
+		}
+	}
+	n := float64(len(res.Bars))
+	res.AvgRelErrPct = sumErr / n
+	res.DynAvgRelErrPct = sumDynErr / n
+	res.OverestimatedFraction = float64(over) / n
+	return res, nil
+}
+
+// legacyFig6Benchmark is the pre-refactor per-benchmark job.
+func legacyFig6Benchmark(mk func() *config.GPU, f bench.Factory) ([]fig6Agg, error) {
+	simr, err := core.New(mk())
+	if err != nil {
+		return nil, err
+	}
+	card, err := hw.NewCardSession(mk(), "fig6/"+f.Name)
+	if err != nil {
+		return nil, err
+	}
+
+	perKernel := map[string]*fig6Agg{}
+	var order []string
+
+	simInst, err := f.Make()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", f.Name, err)
+	}
+	for _, r := range simInst.Runs {
+		tr, err := simr.Simulate(r.Launch, simInst.Mem, r.CMem)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: simulating %s/%s: %w", f.Name, r.Name, err)
+		}
+		rt, err := simr.EvaluatePower(tr)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: power for %s/%s: %w", f.Name, r.Name, err)
+		}
+		a := perKernel[r.Name]
+		if a == nil {
+			a = &fig6Agg{name: r.Name}
+			perKernel[r.Name] = a
+			order = append(order, r.Name)
+		}
+		a.simTotal += rt.TotalW + rt.DRAMW
+		a.n++
+	}
+	if err := simInst.Verify(); err != nil {
+		return nil, fmt.Errorf("experiments: %s failed verification on the simulator: %w", f.Name, err)
+	}
+
+	hwInst, err := f.Make()
+	if err != nil {
+		return nil, err
+	}
+	items := make([]hw.SeqItem, len(hwInst.Runs))
+	for i, r := range hwInst.Runs {
+		items[i] = hw.SeqItem{Launch: r.Launch, Mem: hwInst.Mem, CMem: r.CMem, GapS: 0.01}
+		if r.MaxRepeats > 0 {
+			items[i].Repeats = r.MaxRepeats
+		} else {
+			items[i].MinWindowS = measureWindowS
+		}
+	}
+	_, ms, err := card.MeasureSequence(items)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: measuring %s: %w", f.Name, err)
+	}
+	for i, m := range ms {
+		a := perKernel[hwInst.Runs[i].Name]
+		a.measTotal += m.AvgPowerW
+		if m.ShortWindow && hwInst.Runs[i].MaxRepeats > 0 {
+			a.short = true
+		}
+	}
+
+	out := make([]fig6Agg, 0, len(order))
+	for _, name := range order {
+		out = append(out, *perKernel[name])
+	}
+	return out, nil
+}
+
+// legacyDVFS is the pre-refactor DVFS.
+func legacyDVFS() (*DVFSResult, error) {
+	scales := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	points, err := runner.Map(len(scales), func(i int) (DVFSPoint, error) {
+		card, err := hw.NewCardSession(config.GT240(), fmt.Sprintf("dvfs/%.1f", scales[i]))
+		if err != nil {
+			return DVFSPoint{}, err
+		}
+		if err := card.SetClockScale(scales[i]); err != nil {
+			return DVFSPoint{}, err
+		}
+		l, mem := legacyMicroFPBusy(card)
+		m, err := card.MeasureKernel(l, mem, nil, 0)
+		if err != nil {
+			return DVFSPoint{}, err
+		}
+		return DVFSPoint{
+			ClockScale:    scales[i],
+			PowerW:        m.AvgPowerW,
+			KernelSeconds: m.TrueKernelSeconds,
+			EnergyMJ:      m.AvgPowerW * m.TrueKernelSeconds * 1e3,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &DVFSResult{Points: points, MinEnergyScale: 1}
+	best := 0.0
+	for _, pt := range points {
+		if best == 0 || pt.EnergyMJ < best {
+			best = pt.EnergyMJ
+			res.MinEnergyScale = pt.ClockScale
+		}
+	}
+	return res, nil
+}
+
+func legacyMicroFPBusy(card *hw.Card) (*kernel.Launch, *kernel.GlobalMem) {
+	return busyFPKernel(cardCores(card)*2, 256, 40)
+}
+
+// legacyRunVariant is the pre-refactor per-variant job.
+func legacyRunVariant(name string, cfg *config.GPU, kernelFn func(*config.GPU) (*kernel.Launch, *kernel.GlobalMem)) (AblationRow, error) {
+	simr, err := core.New(cfg)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	l, mem := kernelFn(cfg)
+	tr, err := simr.Simulate(l, mem, nil)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	p, err := simr.EvaluatePower(tr)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	row := AblationRow{
+		Variant:  name,
+		Cycles:   tr.Perf.Activity.Cycles,
+		TotalW:   p.TotalW,
+		DynamicW: p.DynamicW,
+		StaticW:  p.StaticW,
+		EnergyMJ: p.TotalW * p.Seconds * 1e3,
+	}
+	row.EDPnJs = row.EnergyMJ * p.Seconds * 1e3
+	return row, nil
+}
+
+type legacyNamedCfg struct {
+	name string
+	cfg  *config.GPU
+}
+
+func legacyRunVariants(vs []legacyNamedCfg) ([]AblationRow, error) {
+	return legacyRunVariantsOn(vs, ablationKernel)
+}
+
+func legacyRunVariantsOn(vs []legacyNamedCfg, kernelFn func(*config.GPU) (*kernel.Launch, *kernel.GlobalMem)) ([]AblationRow, error) {
+	return runner.Map(len(vs), func(i int) (AblationRow, error) {
+		row, err := legacyRunVariant(vs[i].name, vs[i].cfg, kernelFn)
+		if err != nil {
+			return AblationRow{}, fmt.Errorf("experiments: variant %s: %w", vs[i].name, err)
+		}
+		return row, nil
+	})
+}
+
+// legacyAblationScoreboard .. legacyAblationScheduler are the pre-refactor
+// study definitions.
+func legacyAblationScoreboard() ([]AblationRow, error) {
+	base := config.GT240()
+	sb := config.GT240()
+	sb.Name = "GT240+scoreboard"
+	sb.HasScoreboard = true
+	sb.ScoreboardEntries = 6
+	return legacyRunVariants([]legacyNamedCfg{{"blocking issue (GT240)", base}, {"scoreboarded issue", sb}})
+}
+
+func legacyAblationL2() ([]AblationRow, error) {
+	base := config.GTX580()
+	no := config.GTX580()
+	no.Name = "GTX580-noL2"
+	no.L2KB = 0
+	return legacyRunVariantsOn([]legacyNamedCfg{{"768KB L2 (GTX580)", base}, {"no L2", no}}, l2ReuseKernel)
+}
+
+func legacyAblationProcessNode() ([]AblationRow, error) {
+	var variants []legacyNamedCfg
+	for _, nm := range []float64{65, 45, 40, 32, 28} {
+		c := config.GT240()
+		c.Name = fmt.Sprintf("GT240@%.0fnm", nm)
+		c.ProcessNM = nm
+		variants = append(variants, legacyNamedCfg{c.Name, c})
+	}
+	return legacyRunVariants(variants)
+}
+
+func legacyAblationCoreCount() ([]AblationRow, error) {
+	var variants []legacyNamedCfg
+	for _, clusters := range []int{2, 4, 6, 8} {
+		c := config.GT240()
+		c.Name = fmt.Sprintf("GT240x%dclusters", clusters)
+		c.Clusters = clusters
+		variants = append(variants, legacyNamedCfg{fmt.Sprintf("%d cores (%d clusters)", c.NumCores(), clusters), c})
+	}
+	return legacyRunVariants(variants)
+}
+
+func legacyAblationScheduler() ([]AblationRow, error) {
+	var variants []legacyNamedCfg
+	for _, pol := range []string{"rr", "gto", "twolevel"} {
+		c := config.GTX580()
+		c.Name = "GTX580-" + pol
+		c.SchedulerPolicy = pol
+		variants = append(variants, legacyNamedCfg{pol + " scheduler", c})
+	}
+	return legacyRunVariants(variants)
+}
+
+// legacyEnergyPerOp is the pre-refactor EnergyPerOp.
+func legacyEnergyPerOp() (*EnergyPerOpResult, error) {
+	cfg := config.GT240()
+	card, err := hw.NewCard(cfg)
+	if err != nil {
+		return nil, err
+	}
+	simr, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &EnergyPerOpResult{
+		NominalIntPJ: cfg.Power.IntOpPJ,
+		NominalFPPJ:  cfg.Power.FPOpPJ,
+	}
+
+	estimate := func(mk func(lanes int) (*kernel.Launch, *kernel.GlobalMem), isFP bool) (float64, error) {
+		counts := [2]float64{}
+		energies := [2]float64{}
+		for i, lanes := range []int{31, 1} {
+			l, mem := mk(lanes)
+			tr, err := simr.Simulate(l, mem, nil)
+			if err != nil {
+				return 0, err
+			}
+			if isFP {
+				counts[i] = float64(tr.Perf.Activity.FPThreadInstrs)
+			} else {
+				counts[i] = float64(tr.Perf.Activity.IntThreadInstrs)
+			}
+			l2, mem2 := mk(lanes)
+			m, err := card.MeasureKernel(l2, mem2, nil, 0)
+			if err != nil {
+				return 0, err
+			}
+			energies[i] = m.AvgPowerW * m.TrueKernelSeconds
+		}
+		dE := energies[0] - energies[1]
+		dOps := counts[0] - counts[1]
+		if dOps <= 0 {
+			return 0, fmt.Errorf("experiments: lane differencing produced no op delta")
+		}
+		return dE / dOps * 1e12, nil
+	}
+
+	intPJ, err := estimate(func(lanes int) (*kernel.Launch, *kernel.GlobalMem) {
+		return lfsrKernel(cfg.NumCores(), lanes)
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	fpPJ, err := estimate(func(lanes int) (*kernel.Launch, *kernel.GlobalMem) {
+		return mandelbrotKernel(cfg.NumCores(), lanes)
+	}, true)
+	if err != nil {
+		return nil, err
+	}
+	res.IntOpPJ = intPJ
+	res.FPOpPJ = fpPJ
+	return res, nil
+}

@@ -2,11 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"gpusimpow/internal/config"
-	"gpusimpow/internal/core"
 	"gpusimpow/internal/hw"
 	"gpusimpow/internal/kernel"
+	"gpusimpow/internal/sweep"
 )
 
 // ---------------------------------------------------------------------------
@@ -22,60 +23,90 @@ type EnergyPerOpResult struct {
 	NominalIntPJ, NominalFPPJ float64
 }
 
-// EnergyPerOp reproduces the paper's microbenchmark methodology: "we are
-// alternately configuring the test kernels to use 31 enabled threads per
-// warp and 1 enabled thread per warp. Both configurations have the same
-// execution time. We then calculate the energy difference between these two
-// kernel launches and divide the result by the number of executed
+// EnergyPerOpSpec declares the paper's microbenchmark methodology as a
+// sweep: "we are alternately configuring the test kernels to use 31 enabled
+// threads per warp and 1 enabled thread per warp. Both configurations have
+// the same execution time. We then calculate the energy difference between
+// these two kernel launches and divide the result by the number of executed
 // instructions ... to arrive at an estimate for the energy used by a single
-// execution unit executing a single instruction." The integer loop simulates
-// linear feedback shift registers; the floating-point loop iterates the
-// Mandelbrot map.
+// execution unit executing a single instruction." The grid is (op: int, fp)
+// × (lanes: 31, 1); the integer loop simulates linear feedback shift
+// registers, the floating-point loop iterates the Mandelbrot map. The four
+// cells share one card (SharedCard): the lane-differencing methodology
+// subtracts consecutive measurements on one rig, so the rig's noise-stream
+// order is part of what is reproduced.
+func EnergyPerOpSpec() *sweep.Spec {
+	return &sweep.Spec{
+		Name:  "energyperop",
+		Title: "Section III-D: execution-unit energy via lane differencing (GT240)",
+		Axes: []sweep.Axis{
+			{Name: "op", Values: []sweep.Value{{Name: "int"}, {Name: "fp"}}},
+			{Name: "lanes", Values: []sweep.Value{{Name: "31"}, {Name: "1"}}},
+		},
+		Base: config.GT240,
+		Workload: func(c *sweep.Cell) (*sweep.Workload, error) {
+			lanes, err := strconv.Atoi(c.Value("lanes"))
+			if err != nil {
+				return nil, err
+			}
+			mk := lfsrKernel
+			if c.Value("op") == "fp" {
+				mk = mandelbrotKernel
+			}
+			// Build once for the name; workloads are identified by program
+			// name ("lfsr31", "mandel1", ...).
+			l, _ := mk(2, lanes)
+			return &sweep.Workload{
+				Name: l.Prog.Name,
+				Build: func(cfg *config.GPU) (*sweep.Instance, error) {
+					l, mem := mk(cfg.NumCores(), lanes)
+					return &sweep.Instance{Mem: mem, Units: []sweep.Unit{
+						{Name: l.Prog.Name, Launch: l, MinWindowS: 0.150},
+					}}, nil
+				},
+			}, nil
+		},
+		Sim: true, Measure: true,
+		SharedCard: true,
+	}
+}
+
+// EnergyPerOp runs the lane-differencing microbenchmark through the sweep
+// engine: per cell, the timing stage counts thread instructions (the power
+// model has nothing to add to an instruction count, so the spec skips the
+// power stage) and the measurement stage yields the kernel energy; the
+// reduction differences the 31-lane and 1-lane cells per operation class.
 func EnergyPerOp() (*EnergyPerOpResult, error) {
 	cfg := config.GT240()
-	card, err := hw.NewCard(cfg)
-	if err != nil {
-		return nil, err
-	}
-	simr, err := core.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-
 	res := &EnergyPerOpResult{
 		NominalIntPJ: cfg.Power.IntOpPJ,
 		NominalFPPJ:  cfg.Power.FPOpPJ,
 	}
+	plan, err := EnergyPerOpSpec().Plan(nil)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := plan.Run(nil)
+	if err != nil {
+		return nil, err
+	}
 
-	estimate := func(mk func(lanes int) (*kernel.Launch, *kernel.GlobalMem), isFP bool) (float64, error) {
-		// Thread-instruction counts from the performance simulator (the
-		// paper derives them statically from the unrolled loop). Only the
-		// timing stage is needed — the power model has nothing to add to an
-		// instruction count — so this uses Simulate directly, and the
-		// measurement below replays the same cached timing result on the
-		// card side.
+	// Cells arrive in row-major order: (int,31), (int,1), (fp,31), (fp,1).
+	estimate := func(rs []*sweep.CellResult, isFP bool) (float64, error) {
 		counts := [2]float64{}
 		energies := [2]float64{}
-		for i, lanes := range []int{31, 1} {
-			l, mem := mk(lanes)
-			tr, err := simr.Simulate(l, mem, nil)
-			if err != nil {
-				return 0, err
-			}
+		for i, cr := range rs {
+			u := &cr.Units[0]
+			a := &u.Timing.Perf.Activity
 			if isFP {
-				counts[i] = float64(tr.Perf.Activity.FPThreadInstrs)
+				counts[i] = float64(a.FPThreadInstrs)
 			} else {
-				counts[i] = float64(tr.Perf.Activity.IntThreadInstrs)
-			}
-			l2, mem2 := mk(lanes)
-			m, err := card.MeasureKernel(l2, mem2, nil, 0)
-			if err != nil {
-				return 0, err
+				counts[i] = float64(a.IntThreadInstrs)
 			}
 			// Energy per single kernel execution: average power above idle
 			// is what the execution units add; the paper differences two
 			// launches, cancelling everything except the enabled lanes.
-			energies[i] = m.AvgPowerW * m.TrueKernelSeconds
+			energies[i] = u.Meas.AvgPowerW * u.Meas.TrueKernelSeconds
 		}
 		dE := energies[0] - energies[1]
 		dOps := counts[0] - counts[1]
@@ -84,16 +115,11 @@ func EnergyPerOp() (*EnergyPerOpResult, error) {
 		}
 		return dE / dOps * 1e12, nil
 	}
-
-	intPJ, err := estimate(func(lanes int) (*kernel.Launch, *kernel.GlobalMem) {
-		return lfsrKernel(cfg.NumCores(), lanes)
-	}, false)
+	intPJ, err := estimate(rs[0:2], false)
 	if err != nil {
 		return nil, err
 	}
-	fpPJ, err := estimate(func(lanes int) (*kernel.Launch, *kernel.GlobalMem) {
-		return mandelbrotKernel(cfg.NumCores(), lanes)
-	}, true)
+	fpPJ, err := estimate(rs[2:4], true)
 	if err != nil {
 		return nil, err
 	}

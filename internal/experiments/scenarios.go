@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gpusimpow/internal/sweep"
+)
+
+// This file registers every experiment as a named scenario in the sweep
+// registry, so front-ends (cmd/gpowexp) list, filter and run them without
+// hard-wired dispatch. Sweep-backed scenarios expose their Spec (axes are
+// listable and filterable); table-style artifacts register as plain
+// printable scenarios.
+
+func init() {
+	sweep.Register(sweep.Scenario{
+		Name: "table2", Title: "Table II: key features of the evaluated GPU architectures",
+		Print: func(w io.Writer, _ sweep.Filter) error { return PrintTable2(w) },
+	})
+	sweep.Register(sweep.Scenario{
+		Name: "table4", Title: "Table IV: static power and area (simulated vs. measured/datasheet)",
+		Print: func(w io.Writer, _ sweep.Filter) error { return PrintTable4(w) },
+	})
+	sweep.Register(sweep.Scenario{
+		Name: "table5", Title: "Table V: blackscholes power breakdown on GT240",
+		Print: func(w io.Writer, _ sweep.Filter) error { return PrintTable5(w) },
+	})
+	sweep.Register(sweep.Scenario{
+		Name: "fig4", Title: "Figure 4: GT240 power vs. thread block count (cluster staircase)",
+		Print: func(w io.Writer, _ sweep.Filter) error { return PrintFig4(w) },
+	})
+	sweep.Register(sweep.Scenario{
+		Name: "fig6", Title: "Figure 6: simulated vs. measured power over the benchmark suite",
+		Spec:  Fig6Spec,
+		Print: PrintFig6,
+	})
+	sweep.Register(sweep.Scenario{
+		Name: "fig6a", Title: "Figure 6a: simulated vs. measured power, GT240",
+		Print: func(w io.Writer, _ sweep.Filter) error {
+			return PrintFig6(w, sweep.Filter{"gpu": {"GT240"}})
+		},
+	})
+	sweep.Register(sweep.Scenario{
+		Name: "fig6b", Title: "Figure 6b: simulated vs. measured power, GTX580",
+		Print: func(w io.Writer, _ sweep.Filter) error {
+			return PrintFig6(w, sweep.Filter{"gpu": {"GTX580"}})
+		},
+	})
+	sweep.Register(sweep.Scenario{
+		Name: "energyperop", Title: "Section III-D: execution unit energy via lane differencing",
+		Spec: EnergyPerOpSpec,
+		Print: func(w io.Writer, f sweep.Filter) error {
+			// The lane-differencing reduction needs the full grid: filters
+			// would break the 31-vs-1 pairing, so reject them rather than
+			// silently printing an unrestricted run.
+			if len(f) > 0 {
+				return fmt.Errorf("experiments: energyperop needs its full grid (31-vs-1 lane differencing); run it unfiltered")
+			}
+			return PrintEnergyPerOp(w)
+		},
+	})
+	sweep.Register(sweep.Scenario{
+		Name: "staticextrap", Title: "Section IV-B: static power by frequency extrapolation (GT240)",
+		Print: func(w io.Writer, _ sweep.Filter) error { return PrintStaticExtrap(w) },
+	})
+	sweep.Register(sweep.Scenario{
+		Name: "dvfs", Title: "DVFS sweep: compute-bound kernel on the virtual GT240",
+		Spec:  DVFSSpec,
+		Print: PrintDVFS,
+	})
+
+	ablations := []struct {
+		title string
+		spec  func() *sweep.Spec
+	}{
+		{"scoreboard vs. blocking issue", AblationScoreboardSpec},
+		{"L2 cache", AblationL2Spec},
+		{"process node sweep", AblationProcessNodeSpec},
+		{"core count scaling", AblationCoreCountSpec},
+		{"warp scheduler policy", AblationSchedulerSpec},
+	}
+	for _, a := range ablations {
+		a := a
+		sp := a.spec()
+		sweep.Register(sweep.Scenario{
+			Name: sp.Name, Title: sp.Title,
+			Spec: a.spec,
+			Print: func(w io.Writer, f sweep.Filter) error {
+				return printAblation(w, a.title, a.spec(), f)
+			},
+		})
+	}
+	sweep.Register(sweep.Scenario{
+		Name: "ablation", Title: "All five design-choice ablation studies",
+		Print: func(w io.Writer, _ sweep.Filter) error {
+			for _, a := range ablations {
+				if err := printAblation(w, a.title, a.spec(), nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+}
+
+// PrintTable2 renders Table II.
+func PrintTable2(w io.Writer) error {
+	fmt.Fprintln(w, "Table II: key features of the evaluated GPU architectures")
+	fmt.Fprintf(w, "%-20s %12s %12s\n", "Feature", "GT240", "GTX580")
+	for _, r := range Table2() {
+		fmt.Fprintf(w, "%-20s %12s %12s\n", r.Feature, r.GT240, r.GTX580)
+	}
+	return nil
+}
+
+// PrintTable4 renders Table IV.
+func PrintTable4(w io.Writer) error {
+	rows, err := Table4()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table IV: static power and area (simulated vs. measured/datasheet)")
+	fmt.Fprintf(w, "%-8s %-10s %12s %12s\n", "GPU", "", "Static [W]", "Area [mm2]")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-10s %12.1f %12.1f\n", r.GPU, "Simulated", r.SimStaticW, r.SimAreaMM2)
+		fmt.Fprintf(w, "%-8s %-10s %12.1f %12.1f\n", "", "Real", r.RealStaticW, r.RealAreaMM2)
+	}
+	return nil
+}
+
+// PrintTable5 renders Table V.
+func PrintTable5(w io.Writer) error {
+	rep, err := Table5()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table V: blackscholes power breakdown on GT240")
+	return rep.WriteProfile(w)
+}
+
+// PrintFig4 renders the Figure 4 staircase.
+func PrintFig4(w io.Writer) error {
+	r, err := Fig4()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 4: GT240 power vs. thread block count (cluster staircase)")
+	fmt.Fprintf(w, "idle (pre/post kernel): %.2f W\n", r.IdleW)
+	maxP := r.PowerPerBlocks[len(r.PowerPerBlocks)-1]
+	for i, p := range r.PowerPerBlocks {
+		bar := strings.Repeat("#", int(40*(p-r.IdleW)/(maxP-r.IdleW)))
+		fmt.Fprintf(w, "%2d block(s): %6.2f W  |%s\n", i+1, p, bar)
+	}
+	fmt.Fprintf(w, "first block delta: %.2f W (global scheduler + cluster + core)\n", r.FirstBlockDeltaW)
+	fmt.Fprintf(w, "cluster step (blocks 2-4):  %.3f W\n", r.ClusterStepW)
+	fmt.Fprintf(w, "core step (blocks 5-12):    %.3f W\n", r.CoreStepW)
+	fmt.Fprintf(w, "cluster activation premium: %.3f W (paper: 0.692 W)\n", r.ClusterStepW-r.CoreStepW)
+	return nil
+}
+
+// PrintFig6 renders one sub-figure of Figure 6 per GPU the filter admits
+// (both when unfiltered).
+func PrintFig6(w io.Writer, f sweep.Filter) error {
+	gpus := f["gpu"]
+	if len(gpus) == 0 {
+		gpus = []string{"GT240", "GTX580"}
+	}
+	// Non-gpu filter axes (e.g. bench=...) would silently bias the error
+	// aggregates, so restrict filtering to whole sub-figures.
+	for axis := range f {
+		if axis != "gpu" {
+			return fmt.Errorf("experiments: fig6 filters on gpu only (got %s=...)", axis)
+		}
+	}
+	for i, gpu := range gpus {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		r, err := Fig6(gpu)
+		if err != nil {
+			return err
+		}
+		sub := "6a"
+		if gpu == "GTX580" {
+			sub = "6b"
+		}
+		fmt.Fprintf(w, "Figure %s: simulated vs. measured power, %s\n", sub, gpu)
+		fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %7s %s\n",
+			"Kernel", "SimStat", "SimDyn", "MeasStat", "MeasDyn", "Err%", "")
+		for _, b := range r.Bars {
+			note := ""
+			if b.ShortWindow {
+				note = "(short measurement window)"
+			}
+			fmt.Fprintf(w, "%-14s %10.2f %10.2f %10.2f %10.2f %7.1f %s\n",
+				b.Kernel, b.SimStaticW, b.SimDynamicW, b.MeasStaticW, b.MeasDynamicW, b.RelErrPct, note)
+		}
+		fmt.Fprintf(w, "average relative error: %.1f%% (paper: %s)\n", r.AvgRelErrPct,
+			map[string]string{"GT240": "11.7%", "GTX580": "10.8%"}[gpu])
+		fmt.Fprintf(w, "dynamic-only average relative error: %.1f%% (paper: %s)\n", r.DynAvgRelErrPct,
+			map[string]string{"GT240": "28.3%", "GTX580": "20.9%"}[gpu])
+		fmt.Fprintf(w, "max relative error: %.1f%% on %s\n", r.MaxRelErrPct, r.MaxErrKernel)
+		fmt.Fprintf(w, "kernels overestimated: %.0f%%\n", 100*r.OverestimatedFraction)
+	}
+	return nil
+}
+
+// PrintEnergyPerOp renders the Section III-D estimates.
+func PrintEnergyPerOp(w io.Writer) error {
+	r, err := EnergyPerOp()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Section III-D: execution unit energy via lane differencing")
+	fmt.Fprintf(w, "INT: measured %.1f pJ/op (model anchor %.0f pJ; paper ~40 pJ)\n", r.IntOpPJ, r.NominalIntPJ)
+	fmt.Fprintf(w, "FP:  measured %.1f pJ/op (model anchor %.0f pJ; paper ~75 pJ, NVIDIA reports 50 pJ)\n", r.FPOpPJ, r.NominalFPPJ)
+	return nil
+}
+
+// PrintStaticExtrap renders the Section IV-B methodology check.
+func PrintStaticExtrap(w io.Writer) error {
+	r, err := StaticExtrapolation()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Section IV-B: static power by frequency extrapolation (GT240)")
+	fmt.Fprintf(w, "estimated %.2f W vs. true card leakage %.2f W (error %.1f%%)\n",
+		r.EstimatedStaticW, r.TrueStaticW, r.ErrPct)
+	return nil
+}
+
+// PrintDVFS renders the DVFS energy curve; a scale filter restricts the
+// measured operating points. The reduction is runDVFS — the same code the
+// equivalence tests pin — so the printed numbers cannot drift from the
+// DVFS() API.
+func PrintDVFS(w io.Writer, f sweep.Filter) error {
+	r, err := runDVFS(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "DVFS sweep: compute-bound kernel on the virtual GT240")
+	fmt.Fprintf(w, "%8s %10s %12s %11s\n", "Clock", "Power W", "Kernel s", "Energy mJ")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%7.0f%% %10.2f %12.3g %11.4f\n", p.ClockScale*100, p.PowerW, p.KernelSeconds, p.EnergyMJ)
+	}
+	fmt.Fprintf(w, "energy-optimal clock: %.0f%% (leakage-dominated cards race to idle)\n", r.MinEnergyScale*100)
+	return nil
+}
+
+// printAblation renders one design-choice study, optionally filtered on its
+// variant axis. Rows come from runAblation — the reduction the equivalence
+// tests pin.
+func printAblation(w io.Writer, title string, spec *sweep.Spec, f sweep.Filter) error {
+	rows, err := runAblation(spec, f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation:", title)
+	fmt.Fprintf(w, "  %-28s %10s %9s %9s %9s %10s\n", "Variant", "Cycles", "Total W", "Dyn W", "Stat W", "Energy mJ")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-28s %10d %9.2f %9.2f %9.2f %10.3f\n",
+			r.Variant, r.Cycles, r.TotalW, r.DynamicW, r.StaticW, r.EnergyMJ)
+	}
+	return nil
+}

@@ -67,6 +67,11 @@ type Model struct {
 	eInt, eFP, eSFU, eAGU     float64
 	eNoCFlit, eMCReq, eDecode float64
 	ePCIePerByte              float64
+
+	// static is the precomputed leakage decomposition (see staticSplit):
+	// filled once by computeStaticSplit so Evaluate/EvaluateBatch never
+	// recompute it per call.
+	static staticSplit
 }
 
 // New builds the power model for a configuration.
@@ -96,6 +101,7 @@ func New(cfg *config.GPU) (*Model, error) {
 		return nil, err
 	}
 	m.dramChip = chip
+	m.computeStaticSplit()
 	return m, nil
 }
 

@@ -39,27 +39,46 @@ func (m *Model) leakScale() float64 {
 	return f
 }
 
-// coreStaticSplit returns the leakage of one core by component
-// (WCU, RF, EXE, LDSTU, Undiff), temperature-scaled.
-func (m *Model) coreStaticSplit() (wcu, rf, exe, ldst, undiff float64) {
-	ls := m.leakScale()
-	wcu = m.coreWCUBudget().LeakageW * ls
-	rf = m.coreRFBudget().LeakageW * ls
-	exe = m.exeLeakage.LeakageW * ls
-	ldst = m.coreLDSTBudget().LeakageW * ls
-	undiff = m.cfg.Power.UndiffCoreStaticW
-	return
+// staticSplit holds the precomputed leakage decomposition of one model:
+// per-core components (WCU, RF, EXE, LDSTU, Undiff) and uncore components
+// (NoC, MC including L2, PCIe), temperature-scaled. The split depends only
+// on the built circuit budgets and the configuration, so it is computed once
+// per Model (computeStaticSplit) instead of on every Evaluate call — the
+// amortization that makes evaluating one timing snapshot under N power
+// variants (EvaluateBatch) a pure arithmetic pass.
+type staticSplit struct {
+	wcu, rf, exe, ldst, undiff float64 // one core
+	noc, mc, pcie              float64 // chip level
 }
 
-// uncoreStaticSplit returns NoC, MC (including L2) and PCIe leakage.
-func (m *Model) uncoreStaticSplit() (noc, mc, pcie float64) {
+// computeStaticSplit fills the cached split; called once from New after the
+// circuit budgets are built.
+func (m *Model) computeStaticSplit() {
 	ls := m.leakScale()
 	p := m.cfg.Power
-	noc = m.nocXbar.LeakageW*ls + p.NoCStaticW
+	s := &m.static
+	s.wcu = m.coreWCUBudget().LeakageW * ls
+	s.rf = m.coreRFBudget().LeakageW * ls
+	s.exe = m.exeLeakage.LeakageW * ls
+	s.ldst = m.coreLDSTBudget().LeakageW * ls
+	s.undiff = p.UndiffCoreStaticW
+	s.noc = m.nocXbar.LeakageW*ls + p.NoCStaticW
 	nMC := (m.cfg.MemChannels + 1) / 2
-	mc = m.mcLogic.LeakageW*float64(nMC)*ls + (m.l2Tag.LeakageW+m.l2Data.LeakageW)*ls + p.MCStaticW
-	pcie = p.PCIeIdleW
-	return
+	s.mc = m.mcLogic.LeakageW*float64(nMC)*ls + (m.l2Tag.LeakageW+m.l2Data.LeakageW)*ls + p.MCStaticW
+	s.pcie = p.PCIeIdleW
+}
+
+// coreStaticSplit returns the cached leakage of one core by component.
+func (m *Model) coreStaticSplit() (wcu, rf, exe, ldst, undiff float64) {
+	s := &m.static
+	return s.wcu, s.rf, s.exe, s.ldst, s.undiff
+}
+
+// uncoreStaticSplit returns the cached NoC, MC (including L2) and PCIe
+// leakage.
+func (m *Model) uncoreStaticSplit() (noc, mc, pcie float64) {
+	s := &m.static
+	return s.noc, s.mc, s.pcie
 }
 
 // Static computes the architectural report.
@@ -171,6 +190,24 @@ func (m *Model) Evaluate(res *sim.Result) (*RuntimeReport, error) {
 		return nil, fmt.Errorf("power: timing snapshot with no cycles")
 	}
 	return m.runtimeAt(res, float64(res.Activity.Cycles)/m.cfg.CoreClockHz())
+}
+
+// EvaluateBatch evaluates one timing snapshot under every model, returning
+// reports in argument order — the power stage of a sweep group that pairs N
+// power-parameter variants with a single timing run. The result is
+// bit-identical to N sequential Evaluate calls (each model's static split is
+// precomputed at build time, so the batch is a pure arithmetic pass over the
+// shared activity counters); the first failing model aborts the batch.
+func EvaluateBatch(models []*Model, res *sim.Result) ([]*RuntimeReport, error) {
+	out := make([]*RuntimeReport, len(models))
+	for i, m := range models {
+		r, err := m.Evaluate(res)
+		if err != nil {
+			return nil, fmt.Errorf("power: batch variant %d (%s): %w", i, m.cfg.Name, err)
+		}
+		out[i] = r
+	}
+	return out, nil
 }
 
 // runtimeAt maps activity counts to power over a kernel duration of T

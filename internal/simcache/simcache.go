@@ -23,12 +23,19 @@
 // bit-identical (enforced by the core package's cached-vs-fresh equivalence
 // tests). config.GPU.DisableSimCache or the GPUSIMPOW_DISABLE_SIM_CACHE
 // environment variable forces the old always-simulate path.
+//
+// Memory is unbounded by default; SetByteBudget (or the
+// GPUSIMPOW_SIM_CACHE_BUDGET_MB environment variable, for the process-wide
+// cache) imposes an LRU bound keyed by final-image snapshot bytes, for
+// long-lived multi-tenant sweep services. Eviction trades speed, never
+// results: an evicted key simply re-simulates.
 package simcache
 
 import (
 	"crypto/sha256"
 	"encoding/binary"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -64,11 +71,19 @@ type TimingResult struct {
 }
 
 // entry is one cached simulation: the master result copy and the final
-// memory image to replay on hits.
+// memory image to replay on hits, threaded on the cache's recency list.
 type entry struct {
+	key     Key
 	perf    *sim.Result
 	final   kernel.MemSnapshot
 	memHash [32]byte
+
+	// bytes is the entry's accounted size: the final-image snapshot bytes,
+	// which dominate an entry's footprint (activity counters are O(cores)).
+	bytes int64
+	// prev/next thread the recency list (prev is more recently used; the
+	// list head is the MRU end, the tail the next eviction victim).
+	prev, next *entry
 }
 
 // Cache is a content-addressed store of timing results. The package-level
@@ -78,19 +93,32 @@ type Cache struct {
 	entries map[Key]*entry
 	flight  runner.Flight[Key, *entry]
 
-	hits     uint64
-	misses   uint64
-	bypasses atomic.Uint64 // atomic: the bypass path must not contend on mu
+	// Recency list and byte accounting for the LRU bound. budget <= 0 means
+	// unbounded (the default); see SetByteBudget.
+	mru, lru *entry
+	bytes    int64
+	budget   int64
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	bypasses  atomic.Uint64 // atomic: the bypass path must not contend on mu
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
 type Stats struct {
 	// Entries is the number of distinct timing results stored.
 	Entries int
+	// Bytes is the accounted size of the stored final-image snapshots.
+	Bytes int64
+	// BudgetBytes is the configured byte budget (0 = unbounded).
+	BudgetBytes int64
 	// Hits counts runs served from the store or from a single-flight wait.
 	Hits uint64
 	// Misses counts runs that actually simulated.
 	Misses uint64
+	// Evictions counts entries dropped to honor the byte budget.
+	Evictions uint64
 	// Bypasses counts runs that skipped the cache (DisableSimCache knob).
 	Bypasses uint64
 }
@@ -101,6 +129,80 @@ var shared Cache
 
 // Default returns the process-wide cache (for stats and tests).
 func Default() *Cache { return &shared }
+
+// init applies the GPUSIMPOW_SIM_CACHE_BUDGET_MB environment variable to the
+// process-wide cache: a positive integer bounds the cache's snapshot memory
+// to that many mebibytes. Long-lived multi-tenant sweep services set it (or
+// call SetByteBudget) so the cache cannot grow without bound.
+func init() {
+	if v := os.Getenv("GPUSIMPOW_SIM_CACHE_BUDGET_MB"); v != "" {
+		if mb, err := strconv.ParseInt(v, 10, 64); err == nil && mb > 0 {
+			shared.SetByteBudget(mb << 20)
+		}
+	}
+}
+
+// SetByteBudget bounds the bytes of final-image snapshots the cache may
+// retain; least-recently-used entries are evicted when the bound is
+// exceeded. n <= 0 removes the bound. The bound applies immediately (an
+// over-budget cache shrinks on the spot) and never evicts the entry being
+// stored or touched, so a single entry larger than the budget still caches —
+// the budget bounds retention, it does not refuse work. Eviction only
+// affects performance, never results: an evicted key re-simulates, and the
+// cached-vs-fresh determinism contract makes that bit-identical.
+func (c *Cache) SetByteBudget(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = n
+	c.evictOverBudgetLocked(nil)
+}
+
+// touchLocked moves e to the MRU end of the recency list (inserting it if it
+// is not yet threaded). Callers hold c.mu.
+func (c *Cache) touchLocked(e *entry) {
+	if c.mru == e {
+		return
+	}
+	c.unlinkLocked(e)
+	e.next = c.mru
+	if c.mru != nil {
+		c.mru.prev = e
+	}
+	c.mru = e
+	if c.lru == nil {
+		c.lru = e
+	}
+}
+
+// unlinkLocked removes e from the recency list if threaded.
+func (c *Cache) unlinkLocked(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.mru == e {
+		c.mru = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.lru == e {
+		c.lru = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// evictOverBudgetLocked drops LRU entries until the byte budget is honored,
+// never evicting keep. Callers hold c.mu.
+func (c *Cache) evictOverBudgetLocked(keep *entry) {
+	if c.budget <= 0 {
+		return
+	}
+	for c.bytes > c.budget && c.lru != nil && c.lru != keep {
+		victim := c.lru
+		c.unlinkLocked(victim)
+		delete(c.entries, victim.key)
+		c.bytes -= victim.bytes
+		c.evictions++
+	}
+}
 
 // Run serves one kernel launch through the process-wide cache.
 func Run(g *sim.GPU, l *kernel.Launch, global *kernel.GlobalMem, cmem *kernel.ConstMem) (*TimingResult, error) {
@@ -136,6 +238,7 @@ func (c *Cache) Run(g *sim.GPU, l *kernel.Launch, global *kernel.GlobalMem, cmem
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
+		c.touchLocked(e)
 		c.mu.Unlock()
 		global.Restore(e.final)
 		return &TimingResult{Kernel: l.Prog.Name, Key: key, Perf: e.perf.Clone(), MemHash: e.memHash, CacheHit: true}, nil
@@ -154,6 +257,7 @@ func (c *Cache) Run(g *sim.GPU, l *kernel.Launch, global *kernel.GlobalMem, cmem
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok {
 			c.hits++
+			c.touchLocked(e)
 			c.mu.Unlock()
 			return e, nil
 		}
@@ -166,15 +270,20 @@ func (c *Cache) Run(g *sim.GPU, l *kernel.Launch, global *kernel.GlobalMem, cmem
 		// res never escapes except through Clone below, so the cache can
 		// keep it as the master copy directly.
 		e := &entry{
+			key:     key,
 			perf:    res,
 			final:   global.Snapshot(),
 			memHash: hashWords(global.Words(), uint32(global.Size())),
 		}
+		e.bytes = int64(len(e.final.Words)) * 4
 		c.mu.Lock()
 		if c.entries == nil {
 			c.entries = make(map[Key]*entry)
 		}
 		c.entries[key] = e
+		c.bytes += e.bytes
+		c.touchLocked(e)
+		c.evictOverBudgetLocked(e)
 		c.misses++
 		c.mu.Unlock()
 		return e, nil
@@ -199,16 +308,22 @@ func (c *Cache) Run(g *sim.GPU, l *kernel.Launch, global *kernel.GlobalMem, cmem
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, Bypasses: c.bypasses.Load()}
+	return Stats{
+		Entries: len(c.entries), Bytes: c.bytes, BudgetBytes: c.budget,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Bypasses: c.bypasses.Load(),
+	}
 }
 
-// Reset drops every entry and zeroes the counters (tests and long-running
-// servers that want to bound memory).
+// Reset drops every entry and zeroes the counters, keeping the configured
+// byte budget (tests and long-running servers that want to release memory).
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = nil
-	c.hits, c.misses = 0, 0
+	c.mru, c.lru = nil, nil
+	c.bytes = 0
+	c.hits, c.misses, c.evictions = 0, 0, 0
 	c.bypasses.Store(0)
 }
 

@@ -201,6 +201,110 @@ func TestDisableKnobBypasses(t *testing.T) {
 	}
 }
 
+// probeEntryBytes measures the accounted snapshot size of one
+// testKernel(4, ...) entry (the words slice carries allocator slack, so the
+// size is derived, not assumed).
+func probeEntryBytes(t *testing.T, g *sim.GPU) int64 {
+	t.Helper()
+	var c Cache
+	runProbe(t, &c, g, 99)
+	return c.Stats().Bytes
+}
+
+// runProbe runs testKernel(4, 8, seed) through the cache and reports whether
+// it hit.
+func runProbe(t *testing.T, c *Cache, g *sim.GPU, seed int32) bool {
+	t.Helper()
+	l, mem := testKernel(4, 8, seed)
+	tr, err := c.Run(g, l, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.CacheHit
+}
+
+// TestLRUEviction bounds a cache to two entries and checks that the
+// least-recently-used entry — with recency refreshed by hits, not just
+// insertions — is the one evicted.
+func TestLRUEviction(t *testing.T) {
+	g := newSim(t, config.GT240())
+	entryBytes := probeEntryBytes(t, g)
+
+	var c Cache
+	c.SetByteBudget(2 * entryBytes)
+	runProbe(t, &c, g, 101) // store A
+	runProbe(t, &c, g, 102) // store B
+	if hit := runProbe(t, &c, g, 101); !hit {
+		t.Fatal("A should still be cached") // and A is now MRU
+	}
+	runProbe(t, &c, g, 103) // store C: evicts B (LRU), not the touched A
+
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.Bytes != 2*entryBytes {
+		t.Fatalf("stats = %+v, want 2 entries / 1 eviction / %d bytes", st, 2*entryBytes)
+	}
+	if hit := runProbe(t, &c, g, 101); !hit {
+		t.Error("touched entry A was evicted")
+	}
+	if hit := runProbe(t, &c, g, 102); hit {
+		t.Error("LRU entry B survived eviction")
+	}
+}
+
+// TestBudgetKeepsNewestEntry: a budget smaller than a single entry must not
+// refuse to cache — the newest entry always stays, older ones go.
+func TestBudgetKeepsNewestEntry(t *testing.T) {
+	g := newSim(t, config.GT240())
+	entryBytes := probeEntryBytes(t, g)
+
+	var c Cache
+	c.SetByteBudget(entryBytes / 2)
+	runProbe(t, &c, g, 201)
+	if st := c.Stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want the oversized entry retained", st)
+	}
+	if hit := runProbe(t, &c, g, 201); !hit {
+		t.Error("oversized entry did not replay")
+	}
+	runProbe(t, &c, g, 202)
+	st := c.Stats()
+	if st.Entries != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want old entry evicted for the new one", st)
+	}
+	if hit := runProbe(t, &c, g, 202); !hit {
+		t.Error("newest entry was the one evicted")
+	}
+}
+
+// TestSetByteBudgetShrinksImmediately: imposing a budget on an over-budget
+// cache evicts on the spot; removing the bound stops eviction.
+func TestSetByteBudgetShrinksImmediately(t *testing.T) {
+	g := newSim(t, config.GT240())
+	entryBytes := probeEntryBytes(t, g)
+
+	var c Cache
+	for seed := int32(301); seed <= 304; seed++ {
+		runProbe(t, &c, g, seed)
+	}
+	c.SetByteBudget(2 * entryBytes)
+	if st := c.Stats(); st.Entries != 2 || st.Evictions != 2 {
+		t.Fatalf("stats = %+v, want immediate shrink to 2 entries", st)
+	}
+	c.SetByteBudget(0)
+	runProbe(t, &c, g, 305)
+	runProbe(t, &c, g, 306)
+	if st := c.Stats(); st.Entries != 4 || st.Evictions != 2 {
+		t.Fatalf("stats = %+v, want unbounded growth after budget removal", st)
+	}
+	// Evicted keys re-simulate and replay bit-identically afterwards.
+	if hit := runProbe(t, &c, g, 301); hit {
+		t.Error("evicted entry reported a hit")
+	}
+	if hit := runProbe(t, &c, g, 301); !hit {
+		t.Error("re-simulated entry did not re-cache")
+	}
+}
+
 // TestConcurrentSameKeySingleFlight hammers one key from many goroutines:
 // exactly one simulation may run (single-flight), every caller must end with
 // the same result and final memory image. Run under -race this also proves

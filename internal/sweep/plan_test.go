@@ -1,0 +1,202 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"gpusimpow/internal/config"
+)
+
+// stubWorkload returns a planning-only workload (Build is never called by
+// Plan, but must be present for the spec to validate).
+func stubWorkload(name string) *Workload {
+	return &Workload{Name: name, Build: func(*config.GPU) (*Instance, error) {
+		panic("sweep: stub workload built")
+	}}
+}
+
+// planSpec builds a 2x3 spec: a timing axis (cluster count) crossed with a
+// power axis (process node). The node axis is power-only, so groups form
+// per cluster value.
+func planSpec() *Spec {
+	return &Spec{
+		Name: "planprobe",
+		Axes: []Axis{
+			{Name: "clusters", Values: []Value{
+				{Name: "2", Mutate: func(g *config.GPU) { g.Clusters = 2 }},
+				{Name: "3", Mutate: func(g *config.GPU) { g.Clusters = 3 }},
+			}},
+			{Name: "node", Values: []Value{
+				{Name: "40nm"},
+				{Name: "32nm", Mutate: func(g *config.GPU) { g.ProcessNM = 32 }},
+				{Name: "28nm", Mutate: func(g *config.GPU) { g.ProcessNM = 28 }},
+			}},
+		},
+		Base:     config.GT240,
+		Workload: func(*Cell) (*Workload, error) { return stubWorkload("probe"), nil },
+		Sim:      true,
+	}
+}
+
+// coordsOf flattens a plan's cell coordinates for comparison.
+func coordsOf(p *Plan) []string {
+	out := make([]string, len(p.Cells))
+	for i, c := range p.Cells {
+		out[i] = c.String()
+	}
+	return out
+}
+
+func TestPlanRowMajorOrder(t *testing.T) {
+	p, err := planSpec().Plan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"clusters=2 node=40nm", "clusters=2 node=32nm", "clusters=2 node=28nm",
+		"clusters=3 node=40nm", "clusters=3 node=32nm", "clusters=3 node=28nm",
+	}
+	got := coordsOf(p)
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("cell order %v, want row-major %v", got, want)
+	}
+	for i, c := range p.Cells {
+		if c.Index != i {
+			t.Errorf("cell %d carries index %d", i, c.Index)
+		}
+	}
+}
+
+// TestPlanDeterministicUnderReplanning: planning is a pure function of the
+// spec — repeated plans (each building fresh configs and exercising the
+// group map anew) must agree on cell order, group order and group
+// membership, bit for bit.
+func TestPlanDeterministicUnderReplanning(t *testing.T) {
+	ref, err := planSpec().Plan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCoords := coordsOf(ref)
+	for trial := 0; trial < 20; trial++ {
+		p, err := planSpec().Plan(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(coordsOf(p), ";") != strings.Join(refCoords, ";") {
+			t.Fatalf("trial %d: cell order diverged", trial)
+		}
+		if len(p.Groups) != len(ref.Groups) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(p.Groups), len(ref.Groups))
+		}
+		for gi := range p.Groups {
+			if p.Groups[gi].Leader().Index != ref.Groups[gi].Leader().Index {
+				t.Fatalf("trial %d: group %d leader %d, want %d",
+					trial, gi, p.Groups[gi].Leader().Index, ref.Groups[gi].Leader().Index)
+			}
+			if len(p.Groups[gi].Cells) != len(ref.Groups[gi].Cells) {
+				t.Fatalf("trial %d: group %d size diverged", trial, gi)
+			}
+		}
+	}
+}
+
+// TestPlanOrderFollowsDeclaredValues: shuffling the declared value order
+// reorders the plan accordingly — enumeration order comes from the
+// declaration, not from names or hashes.
+func TestPlanOrderFollowsDeclaredValues(t *testing.T) {
+	s := planSpec()
+	vals := s.Axes[1].Values
+	vals[0], vals[2] = vals[2], vals[0] // 28nm first, 40nm last
+	p, err := s.Plan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Cells[0].Value("node"); got != "28nm" {
+		t.Errorf("first cell node %q, want shuffled-first 28nm", got)
+	}
+	if got := p.Cells[2].Value("node"); got != "40nm" {
+		t.Errorf("third cell node %q, want shuffled-last 40nm", got)
+	}
+}
+
+// TestPlanTimingDedup: N power variants x one timing configuration plan N
+// cells but one timing group; a timing-relevant axis splits groups.
+func TestPlanTimingDedup(t *testing.T) {
+	p, err := planSpec().Plan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cells) != 6 {
+		t.Fatalf("%d cells, want 6", len(p.Cells))
+	}
+	if p.TimingRuns() != 2 {
+		t.Fatalf("%d timing runs, want 2 (one per cluster variant)", p.TimingRuns())
+	}
+	for gi, g := range p.Groups {
+		if len(g.Cells) != 3 {
+			t.Errorf("group %d has %d cells, want the 3 node variants", gi, len(g.Cells))
+		}
+		lead := g.Leader().Value("clusters")
+		for _, c := range g.Cells {
+			if c.Value("clusters") != lead {
+				t.Errorf("group %d mixes cluster variants", gi)
+			}
+		}
+	}
+	// Group leaders appear in cell order.
+	if p.Groups[0].Leader().Index != 0 || p.Groups[1].Leader().Index != 3 {
+		t.Errorf("group leaders at %d/%d, want 0/3",
+			p.Groups[0].Leader().Index, p.Groups[1].Leader().Index)
+	}
+}
+
+func TestPlanFilter(t *testing.T) {
+	f, err := ParseFilter([]string{"node=32nm,28nm", "clusters=3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := planSpec().Plan(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"clusters=3 node=32nm", "clusters=3 node=28nm"}
+	if strings.Join(coordsOf(p), ";") != strings.Join(want, ";") {
+		t.Errorf("filtered cells %v, want %v", coordsOf(p), want)
+	}
+	if p.Cells[0].Index != 0 {
+		t.Error("filtered plan must reindex cells from 0")
+	}
+
+	if _, err := planSpec().Plan(Filter{"nosuch": {"x"}}); err == nil {
+		t.Error("unknown filter axis must error")
+	}
+	if _, err := planSpec().Plan(Filter{"node": {"90nm"}}); err == nil {
+		t.Error("unknown filter value must error")
+	}
+	if _, err := ParseFilter([]string{"garbage"}); err == nil {
+		t.Error("malformed filter must error")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	s := planSpec()
+	s.Axes = append(s.Axes, Axis{Name: "clusters", Values: []Value{{Name: "x"}}})
+	if _, err := s.Plan(nil); err == nil {
+		t.Error("duplicate axis must error")
+	}
+	s = planSpec()
+	s.Axes[0].Values = nil
+	if _, err := s.Plan(nil); err == nil {
+		t.Error("empty axis must error")
+	}
+	s = planSpec()
+	s.Base = nil
+	if _, err := s.Plan(nil); err == nil {
+		t.Error("cell without base configuration must error")
+	}
+	s = planSpec()
+	s.Sim, s.Measure = false, false
+	if _, err := s.Plan(nil); err == nil {
+		t.Error("spec with no stages must error")
+	}
+}

@@ -1,0 +1,74 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Scenario is a named, runnable experiment. Sweep scenarios carry their
+// Spec (so front-ends can show axes and validate filters); table-style
+// scenarios that are not grid sweeps register with a nil Spec and only a
+// Print. Print runs the scenario end to end and writes its report.
+type Scenario struct {
+	Name  string
+	Title string
+	// Spec is the scenario's sweep specification (nil for non-sweeps).
+	Spec func() *Spec
+	// Print runs the scenario, restricted by the filter, and writes the
+	// report. The filter must be empty for non-sweep scenarios.
+	Print func(w io.Writer, f Filter) error
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the process-wide registry; duplicate or
+// anonymous registrations are programming errors and panic at init time.
+func Register(sc Scenario) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if sc.Name == "" || sc.Print == nil {
+		panic("sweep: registering an incomplete scenario")
+	}
+	if _, dup := registry[sc.Name]; dup {
+		panic(fmt.Sprintf("sweep: duplicate scenario %q", sc.Name))
+	}
+	registry[sc.Name] = sc
+}
+
+// Scenarios returns every registered scenario, name-sorted.
+func Scenarios() []Scenario {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, sc := range registry {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (Scenario, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	sc, ok := registry[name]
+	return sc, ok
+}
+
+// RunScenario resolves and prints one scenario by name — the front door
+// cmd/gpowexp dispatches through.
+func RunScenario(w io.Writer, name string, f Filter) error {
+	sc, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("sweep: unknown scenario %q (see `gpowexp list`)", name)
+	}
+	if len(f) > 0 && sc.Spec == nil {
+		return fmt.Errorf("sweep: scenario %q has no axes to filter", name)
+	}
+	return sc.Print(w, f)
+}
