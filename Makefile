@@ -6,12 +6,23 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench baseline bench-compare ci-bench
+.PHONY: ci vet build test race bench baseline bench-compare ci-bench ci-service fmt-check
 
-ci: vet build race ci-bench
+ci: fmt-check vet build race ci-bench ci-service
 
 vet:
 	$(GO) vet ./...
+
+# gofmt gate: any file gofmt would rewrite fails CI.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt -l flagged:"; echo "$$out"; exit 1; fi
+
+# Service smoke: start gpowd on a loopback port, run the cheapest sweep
+# scenario in-process and through the daemon, diff the NDJSON cell
+# records byte for byte (see scripts/service_smoke.sh).
+ci-service:
+	./scripts/service_smoke.sh
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,89 @@
+// Command gpowd is the sweep service daemon: it serves the scenario
+// registry over HTTP, accepts sweep jobs, executes them with bounded
+// concurrency over the shared simulation-result cache, and streams cell
+// records as NDJSON in deterministic plan order (see docs/SERVICE.md).
+//
+// Usage:
+//
+//	gpowd [-addr 127.0.0.1:8080] [-jobs 2] [-queue 16]
+//	      [-cache-budget-mb N] [-cache-dir DIR]
+//
+// The cache flags mirror the GPUSIMPOW_SIM_CACHE_BUDGET_MB and
+// GPUSIMPOW_SIM_CACHE_DIR environment variables: a byte budget bounds the
+// in-memory timing cache (and feeds admission control), a cache directory
+// spills timing results to disk so daemon restarts replay instead of
+// re-simulating.
+//
+// Drive it with gpowexp:
+//
+//	gpowexp -remote http://127.0.0.1:8080 list
+//	gpowexp -remote http://127.0.0.1:8080 run fig6 -filter gpu=GT240
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	_ "gpusimpow/internal/experiments" // registers every scenario
+	"gpusimpow/internal/service"
+	"gpusimpow/internal/simcache"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	jobs := flag.Int("jobs", 2, "jobs executing concurrently (each fans out internally)")
+	queue := flag.Int("queue", 16, "queued-job bound; submissions beyond it are rejected 503")
+	budgetMB := flag.Int64("cache-budget-mb", 0, "simulation-cache byte budget in MiB (0 = unbounded)")
+	cacheDir := flag.String("cache-dir", "", "spill simulation results to this directory")
+	flag.Parse()
+
+	if err := run(*addr, *jobs, *queue, *budgetMB, *cacheDir); err != nil {
+		fmt.Fprintln(os.Stderr, "gpowd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, jobs, queue int, budgetMB int64, cacheDir string) error {
+	if budgetMB > 0 {
+		simcache.Default().SetByteBudget(budgetMB << 20)
+	}
+	if cacheDir != "" {
+		if err := simcache.Default().SetDir(cacheDir); err != nil {
+			return err
+		}
+	}
+
+	m := service.NewManager(service.Options{MaxConcurrent: jobs, MaxQueued: queue})
+	defer m.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("gpowd: listening on http://%s", ln.Addr())
+
+	srv := &http.Server{Handler: service.NewServer(m)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("gpowd: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		return nil
+	case err := <-errc:
+		return err
+	}
+}

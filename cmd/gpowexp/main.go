@@ -6,63 +6,103 @@
 //
 // Usage:
 //
-//	gpowexp list                                  # registered scenarios
-//	gpowexp run <name>... [-filter axis=v[,v]] [-stats] [-v]
+//	gpowexp [-remote URL] list                    # registered scenarios
+//	gpowexp [-remote URL] run <name>... [-filter axis=v[,v]] [-stats] [-v] [-json]
 //	gpowexp all [-stats]                          # every paper artifact
 //	gpowexp <name>...                             # shorthand for run
+//
+// With -remote, list and run drive a gpowd daemon over the service API
+// instead of linking the simulator in-process: run submits each scenario
+// as a job and consumes the daemon's NDJSON cell stream. Remote runs (and
+// local runs with -json) emit flat cell records rather than the
+// scenario's formatted report; the records are bit-identical between the
+// two modes, which `make ci`'s service smoke target diffs.
 //
 // Examples:
 //
 //	gpowexp run fig6 -filter gpu=GT240
 //	gpowexp run dvfs -filter scale=0.5,1.0 -stats
+//	gpowexp run l1sched -json > cells.ndjson
+//	gpowexp -remote http://127.0.0.1:8080 run fig6 -v
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	_ "gpusimpow/internal/experiments" // registers every scenario
+	"gpusimpow/internal/service"
 	"gpusimpow/internal/simcache"
 	"gpusimpow/internal/sweep"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	fs := flag.NewFlagSet("gpowexp", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.Usage = usage
+	remote := fs.String("remote", "", "drive a gpowd daemon at this base URL instead of running in-process")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp { // -h/-help/--help: usage already printed
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
+	args := fs.Args()
+	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	if err := dispatch(os.Args[1:]...); err != nil {
+	if err := dispatch(*remote, args...); err != nil {
 		fmt.Fprintln(os.Stderr, "gpowexp:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gpowexp list
-       gpowexp run <scenario>... [-filter axis=value[,value]]... [-stats] [-v]
+	fmt.Fprintln(os.Stderr, `usage: gpowexp [-remote URL] list
+       gpowexp [-remote URL] run <scenario>... [-filter axis=value[,value]]... [-stats] [-v] [-json]
        gpowexp all [-stats]
        gpowexp <scenario>...`)
 }
 
-// dispatch interprets one command line (sans argv[0]).
-func dispatch(args ...string) error {
+// dispatch interprets one command line (sans argv[0] and the global
+// flags). remote is the daemon base URL ("" = in-process).
+func dispatch(remote string, args ...string) error {
 	switch args[0] {
 	case "list":
+		if remote != "" {
+			return listRemote(os.Stdout, remote)
+		}
 		return list(os.Stdout)
 	case "run":
-		return runCmd(args[1:])
+		return runCmd(remote, args[1:])
 	case "all":
-		return runCmd(append([]string{"-all"}, args[1:]...))
-	case "-h", "-help", "--help", "help":
+		if remote != "" {
+			return fmt.Errorf("`all` mixes table-style artifacts that only exist in-process; name sweep scenarios explicitly with -remote")
+		}
+		return runCmd(remote, append([]string{"-all"}, args[1:]...))
+	case "help": // dashed spellings are consumed by the global flag set
 		usage()
 		return nil
 	default:
 		// Shorthand: bare scenario names run unfiltered (the pre-registry
 		// command surface: `gpowexp table2 fig6a dvfs`).
-		return runCmd(args)
+		return runCmd(remote, args)
 	}
+}
+
+// printAxis renders one axis line of a scenario listing (shared by the
+// local and remote listings so their formats cannot drift apart).
+func printAxis(w io.Writer, name string, values []string) {
+	fmt.Fprintf(w, "  %-22s   axis %s:", "", name)
+	for _, v := range values {
+		fmt.Fprintf(w, " %s", v)
+	}
+	fmt.Fprintln(w)
 }
 
 // list prints every registered scenario with its axes.
@@ -71,17 +111,41 @@ func list(w io.Writer) error {
 	for _, sc := range sweep.Scenarios() {
 		fmt.Fprintf(w, "  %-22s %s\n", sc.Name, sc.Title)
 		if sc.Spec != nil {
-			sp := sc.Spec()
-			for _, ax := range sp.Axes {
-				fmt.Fprintf(w, "  %-22s   axis %s:", "", ax.Name)
-				for _, v := range ax.Values {
-					fmt.Fprintf(w, " %s", v.Name)
+			for _, ax := range sc.Spec().Axes {
+				vals := make([]string, len(ax.Values))
+				for i := range ax.Values {
+					vals[i] = ax.Values[i].Name
 				}
-				fmt.Fprintln(w)
+				printAxis(w, ax.Name, vals)
 			}
 		}
 	}
 	fmt.Fprintln(w, "\nRun with: gpowexp run <scenario> [-filter axis=value[,value]]")
+	return nil
+}
+
+// listRemote prints the daemon's scenario metadata.
+func listRemote(w io.Writer, remote string) error {
+	c := &service.Client{Base: remote}
+	infos, err := c.Scenarios(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Scenarios registered at", remote, "(sweep scenarios are submittable):")
+	for _, in := range infos {
+		kind := "table"
+		if in.Sweep {
+			kind = fmt.Sprintf("%d cells, %d timing runs", in.Cells, in.TimingRuns)
+		}
+		fmt.Fprintf(w, "  %-22s %-34s %s\n", in.Name, "("+kind+")", in.Title)
+		for _, ax := range in.Axes {
+			vals := make([]string, len(ax.Values))
+			for i := range ax.Values {
+				vals[i] = ax.Values[i].Name
+			}
+			printAxis(w, ax.Name, vals)
+		}
+	}
 	return nil
 }
 
@@ -92,7 +156,7 @@ func (f *filterFlag) String() string     { return fmt.Sprint(*f) }
 func (f *filterFlag) Set(v string) error { *f = append(*f, v); return nil }
 
 // runCmd runs one or more scenarios with shared flags.
-func runCmd(args []string) error {
+func runCmd(remote string, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	var filters filterFlag
@@ -100,6 +164,7 @@ func runCmd(args []string) error {
 	stats := fs.Bool("stats", false, "print simulation-result cache statistics after the run")
 	verbose := fs.Bool("v", false, "stream per-cell progress to stderr")
 	all := fs.Bool("all", false, "run every paper artifact (the `all` command)")
+	jsonOut := fs.Bool("json", false, "emit flat cell records as NDJSON instead of the formatted report (sweep scenarios only)")
 	// Accept flags before, between and after scenario names.
 	var names []string
 	rest := args
@@ -130,19 +195,37 @@ func runCmd(args []string) error {
 		return err
 	}
 
+	if remote != "" {
+		if *stats {
+			return fmt.Errorf("-stats reads the in-process cache; the daemon's counters are its own")
+		}
+		return runRemote(remote, names, f, *jsonOut, *verbose)
+	}
+
 	if *verbose {
 		// Stream per-cell completions (plan order) for every sweep the
-		// scenarios execute.
-		sweep.SetProgress(func(p *sweep.Plan, cr *sweep.CellResult) {
-			fmt.Fprintf(os.Stderr, "gpowexp: [%d/%d] %s done\n", cr.Cell.Index+1, len(p.Cells), cr.Cell)
+		// scenarios execute, with cost-weighted percentages when the
+		// planner can estimate them.
+		sweep.SetProgress(func(pr sweep.Progress) {
+			pct := ""
+			if pr.CostFraction > 0 {
+				pct = fmt.Sprintf(" (%.0f%% of estimated cost)", 100*pr.CostFraction)
+			}
+			fmt.Fprintf(os.Stderr, "gpowexp: [%d/%d] %s done%s\n",
+				pr.Done, pr.Total, pr.Cell.CoordString(), pct)
 		})
 		defer sweep.SetProgress(nil)
 	}
 	for i, name := range names {
-		if i > 0 {
+		if i > 0 && !*jsonOut {
 			fmt.Println()
 		}
-		if err := sweep.RunScenario(os.Stdout, name, f); err != nil {
+		if *jsonOut {
+			err = runLocalJSON(os.Stdout, name, f)
+		} else {
+			err = sweep.RunScenario(os.Stdout, name, f)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -150,6 +233,102 @@ func runCmd(args []string) error {
 		printCacheStats(os.Stderr)
 	}
 	return nil
+}
+
+// runLocalJSON runs one sweep scenario in-process and emits its cell
+// records as NDJSON — the same records a gpowd daemon streams for the
+// same request, bit-identically.
+func runLocalJSON(w io.Writer, name string, f sweep.Filter) error {
+	req := sweep.JobRequest{Scenario: name, Filter: f}
+	plan, err := req.Plan()
+	if err != nil {
+		return err
+	}
+	// A dead output (full disk, closed pipe) cancels the sweep at the
+	// next cell boundary instead of simulating on into the void.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	enc := json.NewEncoder(w)
+	var encErr error
+	_, err = plan.RunContext(ctx, func(cr *sweep.CellResult) {
+		if encErr == nil {
+			if encErr = enc.Encode(plan.Record(cr)); encErr != nil {
+				cancel()
+			}
+		}
+	})
+	if encErr != nil {
+		return encErr
+	}
+	return err
+}
+
+// runRemote submits each named scenario to the daemon and consumes the
+// cell stream: NDJSON verbatim with -json, a generic per-cell rendering
+// otherwise.
+func runRemote(remote string, names []string, f sweep.Filter, jsonOut, verbose bool) error {
+	c := &service.Client{Base: remote}
+	ctx := context.Background()
+	enc := json.NewEncoder(os.Stdout)
+	for i, name := range names {
+		if i > 0 && !jsonOut {
+			fmt.Println()
+		}
+		st, err := c.Submit(ctx, sweep.JobRequest{Scenario: name, Filter: f})
+		if err != nil {
+			return err
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "gpowexp: job %s: %s, %d cell(s) in %d timing run(s)\n",
+				st.ID, name, st.Cells, st.TimingRuns)
+		}
+		total := st.Cells
+		err = c.StreamCells(ctx, st.ID, func(rec *sweep.CellRecord) error {
+			if verbose {
+				fmt.Fprintf(os.Stderr, "gpowexp: [%d/%d] %s done\n", rec.Index+1, total, rec.CoordString())
+			}
+			if jsonOut {
+				return enc.Encode(rec)
+			}
+			printRecord(os.Stdout, rec)
+			return nil
+		})
+		if err != nil {
+			// Don't leave the daemon executing a sweep nobody is reading:
+			// best-effort cancel (a no-op if the job already terminated).
+			_ = c.Cancel(ctx, st.ID)
+			return err
+		}
+		final, err := c.Job(ctx, st.ID)
+		if err != nil {
+			return err
+		}
+		if final.State != service.StateDone {
+			return fmt.Errorf("job %s ended %s: %s", st.ID, final.State, final.Error)
+		}
+	}
+	return nil
+}
+
+// printRecord renders one wire cell record generically (remote runs have
+// no scenario-specific reducer on this side of the wire).
+func printRecord(w io.Writer, rec *sweep.CellRecord) {
+	fmt.Fprintf(w, "[%d] %s  (%s, group %d)\n", rec.Index, rec.CoordString(), rec.Config, rec.Group)
+	for i := range rec.Units {
+		u := &rec.Units[i]
+		fmt.Fprintf(w, "    %-14s", u.Name)
+		if u.Timing != nil {
+			fmt.Fprintf(w, " %12d cycles", u.Timing.Cycles)
+		}
+		if u.Power != nil {
+			fmt.Fprintf(w, "  sim %7.2f W (dyn %6.2f, stat %6.2f, dram %6.2f)",
+				u.Power.TotalW, u.Power.DynamicW, u.Power.StaticW, u.Power.DRAMW)
+		}
+		if u.Meas != nil {
+			fmt.Fprintf(w, "  meas %7.2f W over %.3f s", u.Meas.AvgPowerW, u.Meas.WindowS)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // printCacheStats reports the process-wide simulation-result cache counters
@@ -160,6 +339,6 @@ func printCacheStats(w io.Writer) {
 	if st.BudgetBytes > 0 {
 		fmt.Fprintf(w, " of %.1f MiB budget", float64(st.BudgetBytes)/(1<<20))
 	}
-	fmt.Fprintf(w, "), %d hits, %d misses, %d evictions, %d bypasses\n",
-		st.Hits, st.Misses, st.Evictions, st.Bypasses)
+	fmt.Fprintf(w, "), %d hits (%d from disk), %d misses, %d evictions, %d bypasses\n",
+		st.Hits, st.DiskHits, st.Misses, st.Evictions, st.Bypasses)
 }

@@ -13,7 +13,7 @@ import (
 // to end through the CLI dispatcher.
 func TestDispatchLightCommands(t *testing.T) {
 	for _, cmd := range []string{"table2", "table4", "table5", "staticextrap"} {
-		if err := dispatch(cmd); err != nil {
+		if err := dispatch("", cmd); err != nil {
 			t.Fatalf("%s: %v", cmd, err)
 		}
 	}
@@ -23,13 +23,13 @@ func TestDispatchFig4(t *testing.T) {
 	if testing.Short() {
 		t.Skip("waveform synthesis in -short mode")
 	}
-	if err := dispatch("fig4"); err != nil {
+	if err := dispatch("", "fig4"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestDispatchUnknown(t *testing.T) {
-	if err := dispatch("nonsense"); err == nil {
+	if err := dispatch("", "nonsense"); err == nil {
 		t.Error("unknown command should error")
 	}
 }
@@ -50,26 +50,49 @@ func TestList(t *testing.T) {
 func TestRunWithFilter(t *testing.T) {
 	// A filtered DVFS run exercises run + repeatable -filter + -stats end
 	// to end on a cheap sweep.
-	if err := dispatch("run", "dvfs", "-filter", "scale=0.5,1.0", "-stats"); err != nil {
+	if err := dispatch("", "run", "dvfs", "-filter", "scale=0.5,1.0", "-stats"); err != nil {
 		t.Fatal(err)
 	}
-	if err := dispatch("run", "dvfs", "-filter", "scale=0.5", "-v"); err != nil {
+	if err := dispatch("", "run", "dvfs", "-filter", "scale=0.5", "-v"); err != nil {
 		t.Fatal(err)
 	}
 	sweep.SetProgress(nil)
 }
 
+func TestRunJSONRecords(t *testing.T) {
+	// -json swaps the scenario's formatted report for NDJSON cell records
+	// — the same records a gpowd daemon streams (make ci diffs them).
+	if err := dispatch("", "run", "dvfs", "-filter", "scale=0.5", "-json"); err != nil {
+		t.Fatal(err)
+	}
+	// Non-sweep scenarios have no records to emit.
+	if err := dispatch("", "run", "table2", "-json"); err == nil {
+		t.Error("-json on a non-sweep scenario should error")
+	}
+}
+
+func TestRemoteFlagErrors(t *testing.T) {
+	// These fail before any network dial: `all` mixes in-process-only
+	// artifacts, and -stats reads the local cache.
+	if err := dispatch("http://127.0.0.1:1", "all"); err == nil {
+		t.Error("remote `all` should error")
+	}
+	if err := dispatch("http://127.0.0.1:1", "run", "dvfs", "-stats"); err == nil {
+		t.Error("remote -stats should error")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := dispatch("run"); err == nil {
+	if err := dispatch("", "run"); err == nil {
 		t.Error("run with no scenario should error")
 	}
-	if err := dispatch("run", "dvfs", "-filter", "scale=2.0"); err == nil {
+	if err := dispatch("", "run", "dvfs", "-filter", "scale=2.0"); err == nil {
 		t.Error("unknown filter value should error")
 	}
-	if err := dispatch("run", "table2", "-filter", "gpu=GT240"); err == nil {
+	if err := dispatch("", "run", "table2", "-filter", "gpu=GT240"); err == nil {
 		t.Error("filtering a non-sweep scenario should error")
 	}
-	if err := dispatch("run", "dvfs", "-filter", "garbage"); err == nil {
+	if err := dispatch("", "run", "dvfs", "-filter", "garbage"); err == nil {
 		t.Error("malformed filter should error")
 	}
 }

@@ -119,8 +119,8 @@ func run(gpuName, cfgPath, benchName string, static, list bool, dump string, sta
 	fmt.Println("verification: OK")
 	if stats {
 		st := simcache.Default().Stats()
-		fmt.Printf("sim-cache: %d entries (%.1f MiB), %d hits, %d misses, %d evictions, %d bypasses\n",
-			st.Entries, float64(st.Bytes)/(1<<20), st.Hits, st.Misses, st.Evictions, st.Bypasses)
+		fmt.Printf("sim-cache: %d entries (%.1f MiB), %d hits (%d from disk), %d misses, %d evictions, %d bypasses\n",
+			st.Entries, float64(st.Bytes)/(1<<20), st.Hits, st.DiskHits, st.Misses, st.Evictions, st.Bypasses)
 	}
 	return nil
 }

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/sweep"
+)
+
+// L1SchedSpec declares a genuinely new two-axis design-space study on the
+// sweep engine — the ROADMAP's "new scenarios are now ~30 lines" claim,
+// and the service's cheap demo workload: L1 data-cache size × warp
+// scheduler policy on a GTX580-class core, driven by the reuse-heavy
+// kernel the L2 ablation uses (scattered gathers over a 64 KB array, the
+// access pattern whose hit rate an L1 actually moves). Both axes are
+// timing-relevant, so every cell is its own timing group.
+func L1SchedSpec() *sweep.Spec {
+	var l1 []sweep.Value
+	for _, kb := range []int{0, 16, 32, 48} {
+		kb := kb
+		name := fmt.Sprintf("%dKB", kb)
+		if kb == 0 {
+			name = "none"
+		}
+		l1 = append(l1, sweep.Value{Name: name, Mutate: func(c *config.GPU) {
+			c.Name += "-l1." + name
+			c.L1KB = kb
+		}})
+	}
+	var sched []sweep.Value
+	for _, pol := range []string{"rr", "gto", "twolevel"} {
+		pol := pol
+		sched = append(sched, sweep.Value{Name: pol, Mutate: func(c *config.GPU) {
+			c.Name += "-" + pol
+			c.SchedulerPolicy = pol
+		}})
+	}
+	w := kernelWorkload(l2ReuseKernel)
+	return &sweep.Spec{
+		Name:  "l1sched",
+		Title: "Extension: L1 size x scheduler policy on a reuse-heavy workload (GTX580)",
+		Axes: []sweep.Axis{
+			{Name: "l1", Values: l1},
+			{Name: "sched", Values: sched},
+		},
+		Base:     config.GTX580,
+		Workload: func(*sweep.Cell) (*sweep.Workload, error) { return w, nil },
+		Sim:      true, Power: true,
+	}
+}
+
+// L1SchedRow is one grid point's outcome.
+type L1SchedRow struct {
+	L1, Sched string
+	Cycles    uint64
+	L1HitRate float64
+	TotalW    float64
+	DynamicW  float64
+	StaticW   float64
+	EnergyMJ  float64
+}
+
+// L1Sched runs the grid (optionally filtered) and reduces it row per cell,
+// in plan order.
+func L1Sched(f sweep.Filter) ([]L1SchedRow, error) {
+	plan, err := L1SchedSpec().Plan(f)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := plan.Run(nil)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]L1SchedRow, len(rs))
+	for i, cr := range rs {
+		u := &cr.Units[0]
+		p := u.Power
+		rows[i] = L1SchedRow{
+			L1:        cr.Cell.Value("l1"),
+			Sched:     cr.Cell.Value("sched"),
+			Cycles:    u.Timing.Perf.Activity.Cycles,
+			L1HitRate: u.Timing.Perf.L1HitRate,
+			TotalW:    p.TotalW,
+			DynamicW:  p.DynamicW,
+			StaticW:   p.StaticW,
+			EnergyMJ:  p.TotalW * p.Seconds * 1e3,
+		}
+	}
+	return rows, nil
+}

@@ -93,6 +93,11 @@ func init() {
 		})
 	}
 	sweep.Register(sweep.Scenario{
+		Name: "l1sched", Title: "Extension: L1 size x scheduler policy on a reuse-heavy workload (GTX580)",
+		Spec:  L1SchedSpec,
+		Print: PrintL1Sched,
+	})
+	sweep.Register(sweep.Scenario{
 		Name: "ablation", Title: "All five design-choice ablation studies",
 		Print: func(w io.Writer, _ sweep.Filter) error {
 			for _, a := range ablations {
@@ -246,6 +251,23 @@ func PrintDVFS(w io.Writer, f sweep.Filter) error {
 		fmt.Fprintf(w, "%7.0f%% %10.2f %12.3g %11.4f\n", p.ClockScale*100, p.PowerW, p.KernelSeconds, p.EnergyMJ)
 	}
 	fmt.Fprintf(w, "energy-optimal clock: %.0f%% (leakage-dominated cards race to idle)\n", r.MinEnergyScale*100)
+	return nil
+}
+
+// PrintL1Sched renders the L1-size x scheduler grid, optionally filtered
+// on either axis.
+func PrintL1Sched(w io.Writer, f sweep.Filter) error {
+	rows, err := L1Sched(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Extension: L1 size x warp scheduler policy, reuse-heavy workload (GTX580)")
+	fmt.Fprintf(w, "%-6s %-9s %10s %8s %9s %9s %9s %10s\n",
+		"L1", "Sched", "Cycles", "L1 hit", "Total W", "Dyn W", "Stat W", "Energy mJ")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-9s %10d %7.1f%% %9.2f %9.2f %9.2f %10.3f\n",
+			r.L1, r.Sched, r.Cycles, 100*r.L1HitRate, r.TotalW, r.DynamicW, r.StaticW, r.EnergyMJ)
+	}
 	return nil
 }
 

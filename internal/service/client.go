@@ -1,0 +1,189 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"gpusimpow/internal/sweep"
+)
+
+// Client is the Go consumer of the service API — what cmd/gpowexp's
+// -remote mode (and the smoke tests) drive. The zero HTTP client is
+// replaced by http.DefaultClient.
+type Client struct {
+	// Base is the daemon's base URL ("http://127.0.0.1:8080").
+	Base string
+	// HTTP overrides the transport (httptest servers inject theirs).
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// decodeError surfaces the service's {"error": ...} envelope.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var env struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &env) == nil && env.Error != "" {
+		return fmt.Errorf("service: %s (HTTP %d)", env.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("service: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Scenarios lists the daemon's registered scenarios.
+func (c *Client) Scenarios(ctx context.Context) ([]*sweep.ScenarioInfo, error) {
+	var out []*sweep.ScenarioInfo
+	if err := c.getJSON(ctx, "/v1/scenarios", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Submit submits one job request and returns its initial status.
+func (c *Client) Submit(ctx context.Context, jr sweep.JobRequest) (*JobStatus, error) {
+	body, err := json.Marshal(jr)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.getJSON(ctx, "/v1/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists every job's status.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	if err := c.getJSON(ctx, "/v1/jobs", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// StreamCells follows a job's NDJSON cell stream, invoking fn for every
+// record in plan order. It returns when the stream ends (job done), fn
+// errors, or the stream carries a terminal error line.
+func (c *Client) StreamCells(ctx context.Context, id string, fn func(*sweep.CellRecord) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/cells"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		// Each line is either a CellRecord or the terminal error
+		// envelope; records never carry an "error" key.
+		var line struct {
+			sweep.CellRecord
+			Error string `json:"error"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("service: decoding cell stream: %w", err)
+		}
+		if line.Error != "" {
+			return fmt.Errorf("service: job %s: %s", id, line.Error)
+		}
+		rec := line.CellRecord
+		if err := fn(&rec); err != nil {
+			return err
+		}
+	}
+}
+
+// Run submits a request, streams every cell through fn, and returns the
+// job's final status — the remote analogue of Plan.Run. If the stream
+// (or fn) fails, the job is cancelled best-effort so the daemon does not
+// keep executing a sweep nobody is reading.
+func (c *Client) Run(ctx context.Context, jr sweep.JobRequest, fn func(*sweep.CellRecord) error) (*JobStatus, error) {
+	st, err := c.Submit(ctx, jr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.StreamCells(ctx, st.ID, fn); err != nil {
+		_ = c.Cancel(ctx, st.ID) // no-op if the job already terminated
+		return nil, err
+	}
+	return c.Job(ctx, st.ID)
+}

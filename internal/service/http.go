@@ -1,0 +1,157 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"gpusimpow/internal/sweep"
+)
+
+// NewServer wraps a Manager in the service's HTTP API:
+//
+//	GET    /v1/scenarios        scenario metadata (sweep.ScenarioInfo list)
+//	POST   /v1/jobs             submit a sweep.JobRequest -> 202 + JobStatus
+//	GET    /v1/jobs             every job's status, creation order
+//	GET    /v1/jobs/{id}        one job's status
+//	DELETE /v1/jobs/{id}        cancel (idempotent) -> JobStatus
+//	GET    /v1/jobs/{id}/cells  NDJSON stream of CellRecords in plan order
+//
+// The cells stream follows a running job live: each line is one
+// sweep.CellRecord, flushed as the cell completes, always in plan order.
+// If the job fails or is canceled mid-stream, a final {"error": "..."}
+// line terminates the stream.
+func NewServer(m *Manager) http.Handler {
+	s := &server{m: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/scenarios", s.scenarios)
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.jobStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/cells", s.jobCells)
+	return mux
+}
+
+type server struct {
+	m *Manager
+
+	// Scenario metadata is static after init (the registry only grows at
+	// package init time), so describe once.
+	scenOnce sync.Once
+	scenInfo []*sweep.ScenarioInfo
+	scenErr  error
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the service's error envelope.
+func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "5")
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) scenarios(w http.ResponseWriter, r *http.Request) {
+	s.scenOnce.Do(func() { s.scenInfo, s.scenErr = sweep.DescribeAll() })
+	if s.scenErr != nil {
+		writeError(w, http.StatusInternalServerError, s.scenErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.scenInfo)
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var req sweep.JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job request: %w", err))
+		return
+	}
+	j, err := s.m.Submit(req)
+	if err != nil {
+		code := http.StatusBadRequest
+		var busy ErrBusy
+		switch {
+		case errors.As(err, &busy):
+			code = http.StatusServiceUnavailable
+		case errors.Is(err, sweep.ErrUnknownScenario):
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Statuses())
+}
+
+func (s *server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.m.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *server) jobStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	_ = s.m.Cancel(j.ID())
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *server) jobCells(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out before blocking on the first cell: clients
+		// (and response-header timeouts in proxies) must see "connected,
+		// streaming", not silence, while the sweep simulates.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for i := 0; ; i++ {
+		rec, state, errMsg := j.WaitCell(r.Context(), i)
+		if rec == nil {
+			if state == StateFailed || state == StateCanceled {
+				_ = enc.Encode(map[string]string{"error": errMsg})
+			}
+			return
+		}
+		if err := enc.Encode(rec); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

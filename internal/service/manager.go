@@ -1,0 +1,469 @@
+// Package service is the sweep-level service front-end: a job manager and
+// an HTTP/NDJSON server over the sweep engine's wire layer
+// (internal/sweep's JobRequest/CellRecord/ScenarioInfo), the step from
+// "two CLIs that link the whole simulator" toward the north-star
+// multi-tenant system. A job is one submitted sweep: it is planned at
+// admission (invalid scenarios and filters are rejected synchronously),
+// queued, executed with bounded concurrency over internal/runner's worker
+// pool, and streamed as flat cell records in deterministic plan order —
+// the same records the in-process path produces, bit-identically.
+//
+// Admission control is fed by the simulation-result cache's counters
+// (simcache.Stats): a bounded queue rejects submit bursts, and when a
+// byte budget is configured, sustained eviction pressure near the budget
+// rejects new work instead of letting every tenant's job thrash the
+// shared cache.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"gpusimpow/internal/simcache"
+	"gpusimpow/internal/sweep"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// MaxConcurrent bounds how many jobs execute at once (each job
+	// additionally fans out internally over internal/runner's
+	// GOMAXPROCS-sized pool). <= 0 selects 2.
+	MaxConcurrent int
+	// MaxQueued bounds the submitted-but-not-started queue; submissions
+	// beyond it are rejected with ErrBusy. <= 0 selects 16.
+	MaxQueued int
+	// CachePressure is the fraction of the simulation cache's byte budget
+	// above which rising eviction counts reject new jobs (0 selects 0.9).
+	// Irrelevant when no byte budget is configured.
+	CachePressure float64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxConcurrent <= 0 {
+		out.MaxConcurrent = 2
+	}
+	if out.MaxQueued <= 0 {
+		out.MaxQueued = 16
+	}
+	if out.CachePressure <= 0 {
+		out.CachePressure = 0.9
+	}
+	return out
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the wire form of one job's state.
+type JobStatus struct {
+	ID       string       `json:"id"`
+	Scenario string       `json:"scenario"`
+	Filter   sweep.Filter `json:"filter,omitempty"`
+	Label    string       `json:"label,omitempty"`
+	State    JobState     `json:"state"`
+	Error    string       `json:"error,omitempty"`
+	Cells    int          `json:"cells"`
+	// TimingRuns is the plan's timing-group count — what the job will
+	// actually simulate after dedup.
+	TimingRuns int `json:"timingRuns"`
+	// EstCycles is the plan's static cost estimate (see sweep.Plan.Cost).
+	EstCycles uint64 `json:"estCycles,omitempty"`
+	// DoneCells counts streamed cells; CostFraction is their cost-weighted
+	// share of the whole plan.
+	DoneCells    int     `json:"doneCells"`
+	CostFraction float64 `json:"costFraction,omitempty"`
+	// ETASeconds extrapolates the remaining wall-clock from elapsed time
+	// and CostFraction while the job runs (0 when unknown).
+	ETASeconds float64    `json:"etaSeconds,omitempty"`
+	Created    time.Time  `json:"created"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
+}
+
+// Job is one submitted sweep.
+type Job struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	id      string
+	request sweep.JobRequest
+	plan    *sweep.Plan
+	// cost is filled by the worker just before execution (estimation
+	// builds workload instances — too heavy for the submit path); nil
+	// while queued.
+	cost *sweep.Cost
+
+	state    JobState
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	// records accumulates streamed cell records; the sweep's stream
+	// callback is serialized in plan order, so records[i] is always the
+	// cell with Index i.
+	records  []*sweep.CellRecord
+	costDone float64
+
+	cancel context.CancelFunc
+}
+
+func newJob(id string, req sweep.JobRequest, plan *sweep.Plan, now time.Time) *Job {
+	j := &Job{id: id, request: req, plan: plan, state: StateQueued, created: now}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// ID returns the job's identity.
+func (j *Job) ID() string { return j.id }
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:           j.id,
+		Scenario:     j.request.Scenario,
+		Filter:       j.request.Filter,
+		Label:        j.request.Label,
+		State:        j.state,
+		Error:        j.err,
+		Cells:        len(j.plan.Cells),
+		TimingRuns:   j.plan.TimingRuns(),
+		DoneCells:    len(j.records),
+		CostFraction: j.costDone,
+		Created:      j.created,
+	}
+	if j.cost != nil {
+		st.EstCycles = j.cost.EstCycles
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.state == StateRunning && j.costDone > 0 && j.costDone < 1 {
+		elapsed := time.Since(j.started).Seconds()
+		st.ETASeconds = elapsed * (1 - j.costDone) / j.costDone
+	}
+	return st
+}
+
+// WaitCell blocks until cell i's record is available or the job reaches a
+// terminal state without producing it, whichever comes first. It returns
+// the record (nil once the stream is exhausted), the job's state at that
+// point, and the job error ("" unless failed/canceled). The context
+// bounds the wait.
+func (j *Job) WaitCell(ctx context.Context, i int) (*sweep.CellRecord, JobState, string) {
+	// Wake waiters when the caller's context dies; cond.Wait cannot watch
+	// a channel itself.
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.mu.Unlock() //nolint:staticcheck // empty critical section orders the broadcast after Wait
+		j.cond.Broadcast()
+	})
+	defer stop()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.records) <= i && !j.state.terminal() && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	if len(j.records) > i {
+		return j.records[i], j.state, ""
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, j.state, err.Error()
+	}
+	return nil, j.state, j.err
+}
+
+// ErrBusy is returned (and mapped to 503) when admission control rejects
+// a submission; the service is healthy, just saturated.
+type ErrBusy struct{ Reason string }
+
+func (e ErrBusy) Error() string { return "service busy: " + e.Reason }
+
+// Manager owns the job table, the admission policy and the worker pool.
+type Manager struct {
+	opts Options
+
+	mu            sync.Mutex
+	jobs          map[string]*Job
+	order         []string // creation order, for listings
+	nextID        int
+	runningCount  int
+	lastEvictions uint64
+	closed        bool
+
+	// pending is the submitted-but-not-started FIFO; workers pop from the
+	// front, Cancel removes a job outright (immediately freeing its
+	// admission slot), queueCond is signaled on enqueue and Close.
+	pending   []*Job
+	queueCond *sync.Cond
+
+	wg sync.WaitGroup
+}
+
+// NewManager starts a manager and its workers.
+func NewManager(opts Options) *Manager {
+	o := opts.withDefaults()
+	m := &Manager{
+		opts: o,
+		jobs: make(map[string]*Job),
+	}
+	m.queueCond = sync.NewCond(&m.mu)
+	m.wg.Add(o.MaxConcurrent)
+	for i := 0; i < o.MaxConcurrent; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Close stops accepting jobs, cancels everything queued or running, and
+// waits for the workers to drain.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.queueCond.Broadcast()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		m.cancelJob(j)
+	}
+	m.wg.Wait()
+}
+
+// admissionError applies the admission policy to one snapshot of the
+// world; a pure function so the policy is unit-testable without staging
+// real load. queued is the submitted-but-not-started depth, running the
+// currently-executing job count.
+func admissionError(st simcache.Stats, queued, running int, lastEvictions uint64, opts Options) error {
+	if queued >= opts.MaxQueued {
+		return ErrBusy{Reason: fmt.Sprintf("job queue full (%d queued)", queued)}
+	}
+	// Cache-pressure rejection: only meaningful when a byte budget bounds
+	// the shared timing cache. Near-budget occupancy alone is fine (a full
+	// cache is a good cache); it is occupancy combined with *rising*
+	// evictions — the cache is discarding entries jobs still want — that
+	// marks thrashing, where admitting more work degrades every tenant.
+	// Both conditions only mean anything while jobs are actually in
+	// flight: on an idle daemon the eviction delta is leftover history
+	// from jobs long finished, and admitting the lone new job cannot
+	// degrade anyone.
+	if queued+running > 0 && st.BudgetBytes > 0 &&
+		float64(st.Bytes) >= opts.CachePressure*float64(st.BudgetBytes) &&
+		st.Evictions > lastEvictions {
+		return ErrBusy{Reason: fmt.Sprintf(
+			"simulation cache thrashing (%d/%d bytes, %d evictions)",
+			st.Bytes, st.BudgetBytes, st.Evictions)}
+	}
+	return nil
+}
+
+// Submit validates, plans and enqueues one job request. Unknown
+// scenarios, non-sweep scenarios and invalid filters fail here,
+// synchronously; admission rejections return ErrBusy.
+func (m *Manager) Submit(req sweep.JobRequest) (*Job, error) {
+	plan, err := req.Plan()
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("service: manager closed")
+	}
+	st := simcache.Default().Stats()
+	if err := admissionError(st, len(m.pending), m.runningCount, m.lastEvictions, m.opts); err != nil {
+		m.lastEvictions = st.Evictions
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.lastEvictions = st.Evictions
+	m.nextID++
+	id := fmt.Sprintf("job-%d", m.nextID)
+	j := newJob(id, req, plan, time.Now())
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.pending = append(m.pending, j)
+	m.queueCond.Signal()
+	m.mu.Unlock()
+	return j, nil
+}
+
+// Job returns a job by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs lists every job in creation order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Statuses lists every job's status in creation order (Jobs already
+// walks m.order, which is appended at submit time).
+func (m *Manager) Statuses() []JobStatus {
+	jobs := m.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel cancels a job: queued jobs are marked canceled and skipped by
+// the workers; running jobs have their context canceled and stop at the
+// next cell boundary. Canceling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.Job(id)
+	if !ok {
+		return fmt.Errorf("service: no job %q", id)
+	}
+	m.cancelJob(j)
+	return nil
+}
+
+func (m *Manager) cancelJob(j *Job) {
+	// Remove the job from the pending queue first (freeing its admission
+	// slot on the spot); m.mu strictly before j.mu, matching the worker.
+	m.mu.Lock()
+	for i, p := range m.pending {
+		if p == j {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = "canceled before start"
+		j.finished = time.Now()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	case StateRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	default:
+		j.mu.Unlock()
+	}
+}
+
+// worker pops pending jobs until Close.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.closed {
+			m.queueCond.Wait()
+		}
+		if len(m.pending) == 0 { // closed and drained
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		m.runningCount++
+		m.mu.Unlock()
+		m.runJob(j)
+		m.mu.Lock()
+		m.runningCount--
+		m.mu.Unlock()
+	}
+}
+
+// runJob executes one job end to end.
+func (m *Manager) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled between pop and start
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	// Cost estimation builds workload instances, so it runs on the worker
+	// rather than in the submit path; best effort — a plan that executes
+	// can still fail to estimate, which only costs the progress fractions.
+	cost, costErr := j.plan.Cost()
+	if costErr == nil {
+		j.mu.Lock()
+		j.cost = cost
+		j.mu.Unlock()
+	}
+
+	_, err := j.plan.RunContext(ctx, func(cr *sweep.CellResult) {
+		rec := j.plan.Record(cr)
+		j.mu.Lock()
+		j.records = append(j.records, rec)
+		if j.cost != nil {
+			j.costDone += j.cost.PerCell[rec.Index]
+		}
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.costDone = 1
+	case ctx.Err() != nil:
+		j.state = StateCanceled
+		j.err = "canceled"
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}

@@ -1,0 +1,113 @@
+package simcache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gpusimpow/internal/config"
+)
+
+// A fresh cache sharing a spill directory with an earlier one (a
+// "restarted process") must serve the key from disk without simulating,
+// bit-identically to the original run.
+func TestDiskSpillAcrossCaches(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config.GT240()
+
+	var c1 Cache
+	if err := c1.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	l1, mem1 := testKernel(4, 8, 77)
+	tr1, err := c1.Run(newSim(t, cfg), l1, mem1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c1.Stats(); st.Misses != 1 || st.DiskHits != 0 {
+		t.Fatalf("first run: %+v", st)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*", "*.gob"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want 1 spilled entry, got %v (%v)", files, err)
+	}
+
+	var c2 Cache
+	if err := c2.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	l2, mem2 := testKernel(4, 8, 77)
+	tr2, err := c2.Run(newSim(t, cfg), l2, mem2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c2.Stats()
+	if st.Misses != 0 || st.DiskHits != 1 || st.Hits != 1 {
+		t.Fatalf("disk run: %+v", st)
+	}
+	if !tr2.CacheHit {
+		t.Error("disk-served run should report a cache hit")
+	}
+	if !reflect.DeepEqual(tr1.Perf, tr2.Perf) {
+		t.Error("disk replay diverged from fresh simulation")
+	}
+	if tr1.MemHash != tr2.MemHash {
+		t.Error("final-image hash diverged")
+	}
+	if h1, h2 := hashWords(mem1.Words(), uint32(mem1.Size())),
+		hashWords(mem2.Words(), uint32(mem2.Size())); h1 != h2 {
+		t.Error("replayed memory image diverged")
+	}
+}
+
+// A corrupt or truncated spill file is a miss, never an error.
+func TestDiskSpillCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config.GT240()
+
+	var c1 Cache
+	if err := c1.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	l1, mem1 := testKernel(4, 8, 78)
+	if _, err := c1.Run(newSim(t, cfg), l1, mem1, nil); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*", "*.gob"))
+	if len(files) != 1 {
+		t.Fatalf("want 1 spilled entry, got %v", files)
+	}
+	if err := os.WriteFile(files[0], []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var c2 Cache
+	if err := c2.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	l2, mem2 := testKernel(4, 8, 78)
+	tr, err := c2.Run(newSim(t, cfg), l2, mem2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CacheHit {
+		t.Error("corrupt entry must re-simulate")
+	}
+	if st := c2.Stats(); st.Misses != 1 || st.DiskHits != 0 {
+		t.Errorf("corrupt-entry run: %+v", st)
+	}
+}
+
+// The spill is per-cache-directory: with no directory configured nothing
+// is written.
+func TestDiskSpillDisabled(t *testing.T) {
+	var c Cache
+	l, mem := testKernel(4, 8, 79)
+	if _, err := c.Run(newSim(t, config.GT240()), l, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.spillDir(); d != "" {
+		t.Fatalf("unexpected spill dir %q", d)
+	}
+}

@@ -29,6 +29,10 @@
 // cache) imposes an LRU bound keyed by final-image snapshot bytes, for
 // long-lived multi-tenant sweep services. Eviction trades speed, never
 // results: an evicted key simply re-simulates.
+//
+// SetDir (or GPUSIMPOW_SIM_CACHE_DIR) additionally spills entries to disk
+// keyed by hex content key, so repeated processes — daemon restarts, CI
+// runs, CLI invocations — share timing work; see disk.go.
 package simcache
 
 import (
@@ -99,8 +103,12 @@ type Cache struct {
 	bytes    int64
 	budget   int64
 
+	// dir is the on-disk spill directory ("" = disabled); see disk.go.
+	dir string
+
 	hits      uint64
 	misses    uint64
+	diskHits  uint64
 	evictions uint64
 	bypasses  atomic.Uint64 // atomic: the bypass path must not contend on mu
 }
@@ -113,10 +121,14 @@ type Stats struct {
 	Bytes int64
 	// BudgetBytes is the configured byte budget (0 = unbounded).
 	BudgetBytes int64
-	// Hits counts runs served from the store or from a single-flight wait.
+	// Hits counts runs served from the store, the disk spill or a
+	// single-flight wait.
 	Hits uint64
 	// Misses counts runs that actually simulated.
 	Misses uint64
+	// DiskHits counts runs served by loading a spilled entry from the
+	// configured cache directory (a subset of Hits).
+	DiskHits uint64
 	// Evictions counts entries dropped to honor the byte budget.
 	Evictions uint64
 	// Bypasses counts runs that skipped the cache (DisableSimCache knob).
@@ -139,6 +151,12 @@ func init() {
 		if mb, err := strconv.ParseInt(v, 10, 64); err == nil && mb > 0 {
 			shared.SetByteBudget(mb << 20)
 		}
+	}
+	// GPUSIMPOW_SIM_CACHE_DIR spills entries to disk so repeated daemon
+	// restarts and CI runs share timing work (see disk.go). A directory
+	// that cannot be created just leaves the spill off.
+	if v := os.Getenv("GPUSIMPOW_SIM_CACHE_DIR"); v != "" {
+		_ = shared.SetDir(v)
 	}
 }
 
@@ -262,6 +280,24 @@ func (c *Cache) Run(g *sim.GPU, l *kernel.Launch, global *kernel.GlobalMem, cmem
 			return e, nil
 		}
 		c.mu.Unlock()
+		// Disk spill: a previous process may have simulated this key.
+		// Loading counts as a hit (no simulation ran) and populates the
+		// memory store; the caller replays the final image exactly as on
+		// a single-flight wait.
+		if e := c.loadDisk(key); e != nil {
+			c.mu.Lock()
+			if c.entries == nil {
+				c.entries = make(map[Key]*entry)
+			}
+			c.entries[key] = e
+			c.bytes += e.bytes
+			c.touchLocked(e)
+			c.evictOverBudgetLocked(e)
+			c.hits++
+			c.diskHits++
+			c.mu.Unlock()
+			return e, nil
+		}
 		res, err := g.Run(l, global, cmem)
 		if err != nil {
 			return nil, err
@@ -286,6 +322,7 @@ func (c *Cache) Run(g *sim.GPU, l *kernel.Launch, global *kernel.GlobalMem, cmem
 		c.evictOverBudgetLocked(e)
 		c.misses++
 		c.mu.Unlock()
+		c.saveDisk(e)
 		return e, nil
 	})
 	if err != nil {
@@ -310,8 +347,9 @@ func (c *Cache) Stats() Stats {
 	defer c.mu.Unlock()
 	return Stats{
 		Entries: len(c.entries), Bytes: c.bytes, BudgetBytes: c.budget,
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		Bypasses: c.bypasses.Load(),
+		Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits,
+		Evictions: c.evictions,
+		Bypasses:  c.bypasses.Load(),
 	}
 }
 
@@ -323,7 +361,7 @@ func (c *Cache) Reset() {
 	c.entries = nil
 	c.mru, c.lru = nil, nil
 	c.bytes = 0
-	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.hits, c.misses, c.diskHits, c.evictions = 0, 0, 0, 0
 	c.bypasses.Store(0)
 }
 

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"sync"
 )
 
 // groupKey identifies a timing group: every cell whose configuration hashes
@@ -16,6 +17,8 @@ type groupKey struct {
 // order; Cells[0] is the leader, the cell whose configuration runs the
 // timing stage on behalf of the group.
 type Group struct {
+	// Index is the group's position in Plan.Groups (leader order).
+	Index int
 	Cells []*Cell
 }
 
@@ -29,6 +32,12 @@ type Plan struct {
 	Spec   *Spec
 	Cells  []*Cell
 	Groups []*Group
+
+	// Cost memoization (see cost.go); Plan pointers are shared across
+	// worker goroutines, so the estimate is computed at most once.
+	costOnce sync.Once
+	cost     *Cost
+	costErr  error
 }
 
 // TimingRuns returns how many timing simulations the plan needs — the
@@ -79,11 +88,12 @@ func (s *Spec) Plan(f Filter) (*Plan, error) {
 			gk := groupKey{timing: cell.Cfg.TimingKey(), workload: cell.Workload.Name}
 			g := groups[gk]
 			if g == nil {
-				g = &Group{}
+				g = &Group{Index: len(p.Groups)}
 				groups[gk] = g
 				p.Groups = append(p.Groups, g) // first appearance = leader order
 			}
 			g.Cells = append(g.Cells, cell)
+			cell.Group = g.Index
 		}
 
 		// Advance the odometer; the last axis varies fastest.

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -33,15 +34,35 @@ type CellResult struct {
 	Units []UnitResult
 }
 
+// Progress is one structured cell-completion event: a wire-representable
+// snapshot of how far a sweep has come, carrying the completed cell's
+// record rather than pointers into plan internals. Events arrive
+// serialized and in plan order.
+type Progress struct {
+	// Scenario is the running spec's name.
+	Scenario string `json:"scenario"`
+	// Done and Total count completed and planned cells.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// TimingRuns is the plan's timing-group count.
+	TimingRuns int `json:"timingRuns"`
+	// CostFraction is the cost-weighted completion fraction in (0, 1],
+	// from Plan.Cost's per-cell shares; 0 when the estimate is
+	// unavailable.
+	CostFraction float64 `json:"costFraction,omitempty"`
+	// Cell is the just-completed cell's record.
+	Cell *CellRecord `json:"cell"`
+}
+
 // progressHook is an optional process-wide observer of cell completions,
 // installed by front-ends (cmd/gpowexp -v) to surface sweep progress
 // without threading a callback through every scenario's Print signature.
 // Like Run's stream callback, it is invoked serialized and in plan order.
-var progressHook atomic.Pointer[func(*Plan, *CellResult)]
+var progressHook atomic.Pointer[func(Progress)]
 
 // SetProgress installs (or, with nil, removes) the process-wide progress
 // observer.
-func SetProgress(fn func(*Plan, *CellResult)) {
+func SetProgress(fn func(Progress)) {
 	if fn == nil {
 		progressHook.Store(nil)
 		return
@@ -58,18 +79,30 @@ func SetProgress(fn func(*Plan, *CellResult)) {
 // power stage, and measured cells fan out again (each on its own
 // deterministic card session).
 func (p *Plan) Run(stream func(*CellResult)) ([]*CellResult, error) {
+	return p.RunContext(context.Background(), stream)
+}
+
+// RunContext is Run with cancellation: the context is checked before every
+// timing group and every per-cell assembly, so a canceled sweep stops at
+// the next cell boundary and returns the context's error. Cells completed
+// before cancellation have already been streamed; the returned slice is
+// discarded (long-lived services keep the streamed records).
+func (p *Plan) RunContext(ctx context.Context, stream func(*CellResult)) ([]*CellResult, error) {
 	results := make([]*CellResult, len(p.Cells))
 	emit := newEmitter(p, results, stream)
 
 	if p.Spec.SharedCard {
-		if err := p.runShared(emit); err != nil {
+		if err := p.runShared(ctx, emit); err != nil {
 			return nil, err
 		}
 		return results, nil
 	}
 
 	err := runner.ForEach(len(p.Groups), func(gi int) error {
-		return p.runGroup(p.Groups[gi], emit)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return p.runGroup(ctx, p.Groups[gi], emit)
 	})
 	if err != nil {
 		return nil, err
@@ -85,6 +118,13 @@ type emitter struct {
 	results []*CellResult
 	stream  func(*CellResult)
 	next    int
+
+	// Cost-weighted progress, computed lazily on the first hook delivery
+	// (the estimate builds workload instances, so it only runs when an
+	// observer actually wants percentages).
+	costTried bool
+	cost      *Cost
+	costDone  float64
 }
 
 func newEmitter(p *Plan, results []*CellResult, stream func(*CellResult)) *emitter {
@@ -99,11 +139,27 @@ func (e *emitter) done(r *CellResult) {
 	e.results[r.Cell.Index] = r
 	hook := progressHook.Load()
 	for e.next < len(e.results) && e.results[e.next] != nil {
+		cr := e.results[e.next]
 		if e.stream != nil {
-			e.stream(e.results[e.next])
+			e.stream(cr)
 		}
 		if hook != nil {
-			(*hook)(e.plan, e.results[e.next])
+			if !e.costTried {
+				e.costTried = true
+				e.cost, _ = e.plan.Cost() // best effort: nil leaves fractions 0
+			}
+			pr := Progress{
+				Scenario:   e.plan.Spec.Name,
+				Done:       e.next + 1,
+				Total:      len(e.results),
+				TimingRuns: len(e.plan.Groups),
+				Cell:       e.plan.Record(cr),
+			}
+			if e.cost != nil {
+				e.costDone += e.cost.PerCell[cr.Cell.Index]
+				pr.CostFraction = e.costDone
+			}
+			(*hook)(pr)
 		}
 		e.next++
 	}
@@ -156,7 +212,7 @@ func (p *Plan) simGroupTiming(leader *Cell) (*groupTiming, error) {
 // runGroup executes one timing group: the leader's timing stage, the
 // batched power stage across the group's cells, then the per-cell
 // measurement fan-out.
-func (p *Plan) runGroup(g *Group, emit *emitter) error {
+func (p *Plan) runGroup(ctx context.Context, g *Group, emit *emitter) error {
 	s := p.Spec
 	leader := g.Leader()
 
@@ -198,6 +254,9 @@ func (p *Plan) runGroup(g *Group, emit *emitter) error {
 	// several cells (the DVFS pattern: one timing run, many measured
 	// operating points).
 	return runner.ForEach(len(g.Cells), func(ci int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		c := g.Cells[ci]
 		cr := &CellResult{Cell: c}
 		if gt != nil {
@@ -277,7 +336,7 @@ func (p *Plan) measureCell(c *Cell, card *hw.Card, cr *CellResult) error {
 // methodology prescribes. The timing stage still runs per group leader —
 // here each cell is usually its own group — and verification/power behave
 // as in the grouped path.
-func (p *Plan) runShared(emit *emitter) error {
+func (p *Plan) runShared(ctx context.Context, emit *emitter) error {
 	s := p.Spec
 	session := ""
 	if s.Session != nil {
@@ -301,6 +360,9 @@ func (p *Plan) runShared(emit *emitter) error {
 	}
 
 	for _, c := range p.Cells {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		g := groupOf[c]
 		cr := &CellResult{Cell: c}
 		if s.Sim {

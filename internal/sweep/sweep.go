@@ -151,11 +151,13 @@ type Spec struct {
 	SharedCard bool
 }
 
-// Coord is one axis assignment of a cell.
+// Coord is one axis assignment of a cell. Coords are part of the wire
+// layer (CellRecord carries them verbatim), so the fields have stable JSON
+// names.
 type Coord struct {
-	Axis  string
-	Value string
-	Label string
+	Axis  string `json:"axis"`
+	Value string `json:"value"`
+	Label string `json:"label,omitempty"`
 }
 
 // Cell is one point of the swept grid.
@@ -171,6 +173,9 @@ type Cell struct {
 	Workload *Workload
 	// ClockScale is the measured clock scale (1 when no axis set one).
 	ClockScale float64
+	// Group is the index of the cell's timing group in Plan.Groups (leader
+	// order) — the cache/timing-group provenance the wire layer reports.
+	Group int
 }
 
 // Value returns the cell's value name on the named axis ("" if absent).

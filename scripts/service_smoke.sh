@@ -1,0 +1,51 @@
+#!/bin/sh
+# Service smoke test for `make ci`: build the daemon and the experiment
+# CLI, start gpowd on a loopback port, run the cheapest sweep scenario
+# both in-process and through the daemon, and diff the streamed NDJSON
+# cell records byte for byte. The two paths share one wire layer
+# (internal/sweep CellRecord) and one determinism contract, so any
+# difference is a bug.
+set -eu
+
+scenario=${1:-ablation-processnode}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/gpowd" ./cmd/gpowd
+go build -o "$tmp/gpowexp" ./cmd/gpowexp
+
+"$tmp/gpowd" -addr 127.0.0.1:0 2>"$tmp/gpowd.log" &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/.*listening on \(http:[^ ]*\).*/\1/p' "$tmp/gpowd.log" | head -1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "service smoke: gpowd exited early:" >&2
+        cat "$tmp/gpowd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "service smoke: gpowd never reported its address" >&2
+    cat "$tmp/gpowd.log" >&2
+    exit 1
+fi
+
+"$tmp/gpowexp" run "$scenario" -json >"$tmp/local.ndjson"
+"$tmp/gpowexp" -remote "$addr" run "$scenario" -json >"$tmp/remote.ndjson"
+
+if ! diff "$tmp/local.ndjson" "$tmp/remote.ndjson"; then
+    echo "service smoke: FAIL — remote records diverge from in-process run" >&2
+    exit 1
+fi
+echo "service smoke: OK — $scenario: $(wc -l <"$tmp/local.ndjson") cell record(s) identical in-process and via $addr"
