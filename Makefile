@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench baseline bench-compare ci-bench ci-service fmt-check
+.PHONY: ci vet build test race bench baseline bench-compare ci-bench ci-service fmt-check golden-update
 
 ci: fmt-check vet build race ci-bench ci-service
 
@@ -20,9 +20,17 @@ fmt-check:
 
 # Service smoke: start gpowd on a loopback port, run the cheapest sweep
 # scenario in-process and through the daemon, diff the NDJSON cell
-# records byte for byte (see scripts/service_smoke.sh).
+# records AND the reduced report (JSON + rendered text) byte for byte
+# (see scripts/service_smoke.sh).
 ci-service:
 	./scripts/service_smoke.sh
+
+# The scenario golden files (internal/experiments/testdata/*.golden) pin
+# every scenario's rendered report byte-identical to the pre-split
+# printers; they run as part of `make race`/`make test`. Regenerate after
+# an intentional output change:
+golden-update:
+	$(GO) test ./internal/experiments -run TestGoldenReports -update
 
 build:
 	$(GO) build ./...

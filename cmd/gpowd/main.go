@@ -6,6 +6,7 @@
 // Usage:
 //
 //	gpowd [-addr 127.0.0.1:8080] [-jobs 2] [-queue 16]
+//	      [-retain N] [-retain-age DUR]
 //	      [-cache-budget-mb N] [-cache-dir DIR]
 //
 // The cache flags mirror the GPUSIMPOW_SIM_CACHE_BUDGET_MB and
@@ -13,6 +14,12 @@
 // in-memory timing cache (and feeds admission control), a cache directory
 // spills timing results to disk so daemon restarts replay instead of
 // re-simulating.
+//
+// The retention flags bound the job table: completed (done/failed/
+// canceled) jobs keep their cell records for /cells replays and /report,
+// so -retain N evicts the oldest completed jobs beyond N and -retain-age
+// prunes completed jobs older than the duration. Queued and running jobs
+// are never pruned; 0 (the default) keeps everything.
 //
 // Drive it with gpowexp:
 //
@@ -41,17 +48,25 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	jobs := flag.Int("jobs", 2, "jobs executing concurrently (each fans out internally)")
 	queue := flag.Int("queue", 16, "queued-job bound; submissions beyond it are rejected 503")
+	retain := flag.Int("retain", 0, "keep at most N completed jobs, oldest evicted first (0 = keep all)")
+	retainAge := flag.Duration("retain-age", 0, "prune completed jobs finished longer ago than this (0 = keep all)")
 	budgetMB := flag.Int64("cache-budget-mb", 0, "simulation-cache byte budget in MiB (0 = unbounded)")
 	cacheDir := flag.String("cache-dir", "", "spill simulation results to this directory")
 	flag.Parse()
 
-	if err := run(*addr, *jobs, *queue, *budgetMB, *cacheDir); err != nil {
+	opts := service.Options{
+		MaxConcurrent: *jobs,
+		MaxQueued:     *queue,
+		RetainJobs:    *retain,
+		RetainAge:     *retainAge,
+	}
+	if err := run(*addr, opts, *budgetMB, *cacheDir); err != nil {
 		fmt.Fprintln(os.Stderr, "gpowd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, jobs, queue int, budgetMB int64, cacheDir string) error {
+func run(addr string, opts service.Options, budgetMB int64, cacheDir string) error {
 	if budgetMB > 0 {
 		simcache.Default().SetByteBudget(budgetMB << 20)
 	}
@@ -61,7 +76,7 @@ func run(addr string, jobs, queue int, budgetMB int64, cacheDir string) error {
 		}
 	}
 
-	m := service.NewManager(service.Options{MaxConcurrent: jobs, MaxQueued: queue})
+	m := service.NewManager(opts)
 	defer m.Close()
 
 	ln, err := net.Listen("tcp", addr)

@@ -7,23 +7,36 @@
 // Usage:
 //
 //	gpowexp [-remote URL] list                    # registered scenarios
-//	gpowexp [-remote URL] run <name>... [-filter axis=v[,v]] [-stats] [-v] [-json]
+//	gpowexp [-remote URL] run <name>... [-filter axis=v[,v]] [-stats] [-v]
+//	                                    [-json] [-report] [-report-json]
 //	gpowexp all [-stats]                          # every paper artifact
 //	gpowexp <name>...                             # shorthand for run
 //
 // With -remote, list and run drive a gpowd daemon over the service API
 // instead of linking the simulator in-process: run submits each scenario
-// as a job and consumes the daemon's NDJSON cell stream. Remote runs (and
-// local runs with -json) emit flat cell records rather than the
-// scenario's formatted report; the records are bit-identical between the
-// two modes, which `make ci`'s service smoke target diffs.
+// as a job and consumes the daemon's NDJSON streams (the events stream
+// with -v — live progress percentages — the cells stream otherwise).
+//
+// Output modes:
+//
+//   - default: the scenario's formatted report in-process; generic
+//     per-cell records remotely.
+//   - -json: flat NDJSON cell records, bit-identical in-process and
+//     remote (`make ci`'s service smoke target diffs them).
+//   - -report: the scenario's reduced report rendered as text. Remotely
+//     the daemon reduces server-side (GET /v1/jobs/{id}/report) and the
+//     fetched report renders through the same sweep.RenderText — the
+//     bytes match the in-process run exactly.
+//   - -report-json: the reduced report as JSON, one line per scenario;
+//     also byte-identical between the two modes (smoke-diffed).
 //
 // Examples:
 //
 //	gpowexp run fig6 -filter gpu=GT240
 //	gpowexp run dvfs -filter scale=0.5,1.0 -stats
 //	gpowexp run l1sched -json > cells.ndjson
-//	gpowexp -remote http://127.0.0.1:8080 run fig6 -v
+//	gpowexp run fig6 -report-json | jq .sections[0].notes
+//	gpowexp -remote http://127.0.0.1:8080 run fig6 -v -report
 package main
 
 import (
@@ -33,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	_ "gpusimpow/internal/experiments" // registers every scenario
 	"gpusimpow/internal/service"
@@ -64,10 +78,21 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: gpowexp [-remote URL] list
-       gpowexp [-remote URL] run <scenario>... [-filter axis=value[,value]]... [-stats] [-v] [-json]
+       gpowexp [-remote URL] run <scenario>... [-filter axis=value[,value]]... [-stats] [-v]
+                                               [-json] [-report] [-report-json]
        gpowexp all [-stats]
        gpowexp <scenario>...`)
 }
+
+// outputMode selects what a run emits.
+type outputMode int
+
+const (
+	modeDefault    outputMode = iota // formatted report locally, generic records remotely
+	modeJSON                         // NDJSON cell records
+	modeReport                       // reduced report, rendered as text
+	modeReportJSON                   // reduced report, JSON
+)
 
 // dispatch interprets one command line (sans argv[0] and the global
 // flags). remote is the daemon base URL ("" = in-process).
@@ -165,6 +190,8 @@ func runCmd(remote string, args []string) error {
 	verbose := fs.Bool("v", false, "stream per-cell progress to stderr")
 	all := fs.Bool("all", false, "run every paper artifact (the `all` command)")
 	jsonOut := fs.Bool("json", false, "emit flat cell records as NDJSON instead of the formatted report (sweep scenarios only)")
+	report := fs.Bool("report", false, "render the scenario's reduced report (remote: fetched from /v1/jobs/{id}/report)")
+	reportJSON := fs.Bool("report-json", false, "emit the scenario's reduced report as JSON, one line per scenario")
 	// Accept flags before, between and after scenario names.
 	var names []string
 	rest := args
@@ -194,35 +221,47 @@ func runCmd(remote string, args []string) error {
 	if err != nil {
 		return err
 	}
+	mode := modeDefault
+	set := 0
+	for _, m := range []struct {
+		on   bool
+		mode outputMode
+	}{{*jsonOut, modeJSON}, {*report, modeReport}, {*reportJSON, modeReportJSON}} {
+		if m.on {
+			mode = m.mode
+			set++
+		}
+	}
+	if set > 1 {
+		return fmt.Errorf("-json, -report and -report-json are mutually exclusive")
+	}
 
 	if remote != "" {
 		if *stats {
 			return fmt.Errorf("-stats reads the in-process cache; the daemon's counters are its own")
 		}
-		return runRemote(remote, names, f, *jsonOut, *verbose)
+		return runRemote(remote, names, f, mode, *verbose)
 	}
 
 	if *verbose {
 		// Stream per-cell completions (plan order) for every sweep the
 		// scenarios execute, with cost-weighted percentages when the
 		// planner can estimate them.
-		sweep.SetProgress(func(pr sweep.Progress) {
-			pct := ""
-			if pr.CostFraction > 0 {
-				pct = fmt.Sprintf(" (%.0f%% of estimated cost)", 100*pr.CostFraction)
-			}
-			fmt.Fprintf(os.Stderr, "gpowexp: [%d/%d] %s done%s\n",
-				pr.Done, pr.Total, pr.Cell.CoordString(), pct)
-		})
+		sweep.SetProgress(func(pr sweep.Progress) { progressLine(os.Stderr, &pr) })
 		defer sweep.SetProgress(nil)
 	}
 	for i, name := range names {
-		if i > 0 && !*jsonOut {
+		if i > 0 && mode != modeJSON && mode != modeReportJSON {
 			fmt.Println()
 		}
-		if *jsonOut {
+		switch mode {
+		case modeJSON:
 			err = runLocalJSON(os.Stdout, name, f)
-		} else {
+		case modeReportJSON:
+			err = runLocalReportJSON(os.Stdout, name, f)
+		default:
+			// modeReport is the default local rendering: every scenario's
+			// Print already reduces and renders through sweep.RenderText.
 			err = sweep.RunScenario(os.Stdout, name, f)
 		}
 		if err != nil {
@@ -233,6 +272,29 @@ func runCmd(remote string, args []string) error {
 		printCacheStats(os.Stderr)
 	}
 	return nil
+}
+
+// progressLine prints one cell-completion event to w, with the
+// cost-weighted percentage when the planner could estimate it — the same
+// line whether the event came from the in-process hook or a daemon's
+// events stream.
+func progressLine(w io.Writer, pr *sweep.Progress) {
+	pct := ""
+	if pr.CostFraction > 0 {
+		pct = fmt.Sprintf(" (%.0f%% of estimated cost)", 100*pr.CostFraction)
+	}
+	fmt.Fprintf(w, "gpowexp: [%d/%d] %s done%s\n", pr.Done, pr.Total, pr.Cell.CoordString(), pct)
+}
+
+// runLocalReportJSON reduces one scenario in-process and emits the typed
+// report as one JSON line — the same bytes `-remote run -report-json`
+// prints after fetching the daemon's server-side reduction.
+func runLocalReportJSON(w io.Writer, name string, f sweep.Filter) error {
+	rep, err := sweep.BuildReport(name, f)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(rep)
 }
 
 // runLocalJSON runs one sweep scenario in-process and emits its cell
@@ -263,15 +325,18 @@ func runLocalJSON(w io.Writer, name string, f sweep.Filter) error {
 	return err
 }
 
-// runRemote submits each named scenario to the daemon and consumes the
-// cell stream: NDJSON verbatim with -json, a generic per-cell rendering
-// otherwise.
-func runRemote(remote string, names []string, f sweep.Filter, jsonOut, verbose bool) error {
+// runRemote submits each named scenario to the daemon and consumes its
+// streams: cell records (NDJSON verbatim with -json, a generic per-cell
+// rendering by default) or, for the report modes, the server-side reduced
+// report once the job completes. With -v the daemon's events stream
+// replaces the cells stream, so progress percentages arrive live instead
+// of by status polling.
+func runRemote(remote string, names []string, f sweep.Filter, mode outputMode, verbose bool) error {
 	c := &service.Client{Base: remote}
 	ctx := context.Background()
 	enc := json.NewEncoder(os.Stdout)
 	for i, name := range names {
-		if i > 0 && !jsonOut {
+		if i > 0 && mode != modeJSON && mode != modeReportJSON {
 			fmt.Println()
 		}
 		st, err := c.Submit(ctx, sweep.JobRequest{Scenario: name, Filter: f})
@@ -282,17 +347,32 @@ func runRemote(remote string, names []string, f sweep.Filter, jsonOut, verbose b
 			fmt.Fprintf(os.Stderr, "gpowexp: job %s: %s, %d cell(s) in %d timing run(s)\n",
 				st.ID, name, st.Cells, st.TimingRuns)
 		}
-		total := st.Cells
-		err = c.StreamCells(ctx, st.ID, func(rec *sweep.CellRecord) error {
-			if verbose {
-				fmt.Fprintf(os.Stderr, "gpowexp: [%d/%d] %s done\n", rec.Index+1, total, rec.CoordString())
-			}
-			if jsonOut {
+
+		// Per-cell output (nothing in the report modes — they only care
+		// about the finished job's reduction).
+		onRecord := func(rec *sweep.CellRecord) error {
+			switch mode {
+			case modeJSON:
 				return enc.Encode(rec)
+			case modeDefault:
+				printRecord(os.Stdout, rec)
 			}
-			printRecord(os.Stdout, rec)
 			return nil
-		})
+		}
+		switch {
+		case verbose:
+			err = c.StreamEvents(ctx, st.ID, func(pr *sweep.Progress) error {
+				progressLine(os.Stderr, pr)
+				return onRecord(pr.Cell)
+			})
+		case mode == modeReport || mode == modeReportJSON:
+			// No per-cell output wanted: poll the few-hundred-byte status
+			// until the job terminates instead of downloading (and
+			// discarding) the full cell-record stream.
+			err = waitJob(ctx, c, st.ID)
+		default:
+			err = c.StreamCells(ctx, st.ID, onRecord)
+		}
 		if err != nil {
 			// Don't leave the daemon executing a sweep nobody is reading:
 			// best-effort cancel (a no-op if the job already terminated).
@@ -306,8 +386,47 @@ func runRemote(remote string, names []string, f sweep.Filter, jsonOut, verbose b
 		if final.State != service.StateDone {
 			return fmt.Errorf("job %s ended %s: %s", st.ID, final.State, final.Error)
 		}
+		if mode == modeReport || mode == modeReportJSON {
+			rep, err := c.Report(ctx, st.ID)
+			if err != nil {
+				return err
+			}
+			if mode == modeReportJSON {
+				if err := enc.Encode(rep); err != nil {
+					return err
+				}
+			} else if err := sweep.RenderText(os.Stdout, rep); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// waitJob polls a job's status until it reaches a terminal state, backing
+// off to one poll per second; context cancellation ends the wait.
+func waitJob(ctx context.Context, c *service.Client, id string) error {
+	delay := 100 * time.Millisecond
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case service.StateDone, service.StateFailed, service.StateCanceled:
+			return nil
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
 }
 
 // printRecord renders one wire cell record generically (remote runs have

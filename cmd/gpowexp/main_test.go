@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -71,6 +73,60 @@ func TestRunJSONRecords(t *testing.T) {
 	}
 }
 
+func TestRunReportModes(t *testing.T) {
+	// -report renders the reduced report (same bytes as the default local
+	// rendering); -report-json emits the typed sweep.Report as JSON — the
+	// same value a daemon serves from /v1/jobs/{id}/report (make ci's
+	// service smoke diffs them).
+	if err := dispatch("", "run", "dvfs", "-filter", "scale=0.5", "-report"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dispatch("", "run", "dvfs", "-filter", "scale=0.5", "-report-json"); err != nil {
+		t.Fatal(err)
+	}
+	// Table-style scenarios reduce too (from scratch; no records).
+	if err := dispatch("", "run", "table2", "-report-json"); err != nil {
+		t.Fatal(err)
+	}
+	// The output modes are mutually exclusive.
+	if err := dispatch("", "run", "dvfs", "-json", "-report-json"); err == nil {
+		t.Error("-json with -report-json should error")
+	}
+	if err := dispatch("", "run", "dvfs", "-report", "-report-json"); err == nil {
+		t.Error("-report with -report-json should error")
+	}
+}
+
+func TestLocalReportJSONMatchesReduction(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runLocalReportJSON(&buf, "ablation-processnode", nil); err != nil {
+		t.Fatal(err)
+	}
+	var rep sweep.Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sweep.BuildReport("ablation-processnode", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&rep, want) {
+		t.Errorf("emitted report JSON diverges from the in-process reduction")
+	}
+	// The rendered form of the same report is the scenario's exact text
+	// output.
+	var text, direct bytes.Buffer
+	if err := sweep.RenderText(&text, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.RunScenario(&direct, "ablation-processnode", nil); err != nil {
+		t.Fatal(err)
+	}
+	if text.String() != direct.String() {
+		t.Errorf("JSON-round-tripped report renders differently:\n got %q\nwant %q", text.String(), direct.String())
+	}
+}
+
 func TestRemoteFlagErrors(t *testing.T) {
 	// These fail before any network dial: `all` mixes in-process-only
 	// artifacts, and -stats reads the local cache.
@@ -94,5 +150,16 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := dispatch("", "run", "dvfs", "-filter", "garbage"); err == nil {
 		t.Error("malformed filter should error")
+	}
+	// Scenario-specific filter constraints (Scenario.CheckFilter) fail
+	// fast — before any simulation — in every output mode.
+	if err := dispatch("", "run", "fig6", "-filter", "bench=bfs"); err == nil {
+		t.Error("bench-filtered fig6 should error before simulating")
+	}
+	if err := dispatch("", "run", "fig6", "-filter", "bench=bfs", "-report-json"); err == nil {
+		t.Error("bench-filtered fig6 -report-json should error before simulating")
+	}
+	if err := dispatch("", "run", "energyperop", "-filter", "lanes=31"); err == nil {
+		t.Error("filtered energyperop should error before simulating")
 	}
 }

@@ -164,7 +164,12 @@ func (s *Simulator) RunKernel(l *kernel.Launch, global *kernel.GlobalMem, cmem *
 }
 
 // WriteProfile prints the hierarchical power profile of a kernel in the
-// shape of the paper's Table V: GPU-level components, then one core.
+// shape of the paper's Table V: GPU-level components, then one core. The
+// table5 scenario (internal/experiments, reduceTable5) renders the same
+// shape through the sweep report layer — core cannot import sweep, so the
+// layouts are paired by convention and pinned separately
+// (TestWriteProfileFormat here, table5.golden there). Change one and the
+// other must follow.
 func (r *KernelReport) WriteProfile(w io.Writer) error {
 	p := r.Power
 	total := p.TotalW

@@ -147,9 +147,7 @@ func ablationSpec(name, title string, variants []sweep.Value, kernelFn func(*con
 }
 
 // runAblation plans, runs and reduces one study into its rows (variant
-// order = axis order), optionally filtered — the one reduction both the
-// Ablation* functions and the CLI printer go through, so the printed rows
-// are the same arithmetic the equivalence tests pin.
+// order = axis order), optionally filtered.
 func runAblation(spec *sweep.Spec, f sweep.Filter) ([]AblationRow, error) {
 	plan, err := spec.Plan(f)
 	if err != nil {
@@ -159,19 +157,35 @@ func runAblation(spec *sweep.Spec, f sweep.Filter) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]AblationRow, len(rs))
-	for i, cr := range rs {
-		u := &cr.Units[0]
-		p := u.Power
-		row := AblationRow{
-			Variant:  cr.Cell.Label("variant"),
-			Cycles:   u.Timing.Perf.Activity.Cycles,
-			TotalW:   p.TotalW,
-			DynamicW: p.DynamicW,
-			StaticW:  p.StaticW,
-			EnergyMJ: p.TotalW * p.Seconds * 1e3,
+	return ablationReduce(plan.Records(rs))
+}
+
+// ablationReduce folds one study's flat cell records into its rows — the
+// one reduction the Ablation* functions, the CLI report and the service's
+// wire report all go through, so the rows are the same arithmetic the
+// equivalence tests pin.
+func ablationReduce(recs []*sweep.CellRecord) ([]AblationRow, error) {
+	rows := make([]AblationRow, len(recs))
+	for i, rec := range recs {
+		if len(rec.Units) == 0 || rec.Units[0].Timing == nil || rec.Units[0].Power == nil {
+			return nil, fmt.Errorf("experiments: ablation: record %s missing timing/power", rec.CoordString())
 		}
-		row.EDPnJs = row.EnergyMJ * p.Seconds * 1e3
+		u := &rec.Units[0]
+		label := ""
+		for _, co := range rec.Coords {
+			if co.Axis == "variant" {
+				label = co.Label
+			}
+		}
+		row := AblationRow{
+			Variant:  label,
+			Cycles:   u.Timing.Cycles,
+			TotalW:   u.Power.TotalW,
+			DynamicW: u.Power.DynamicW,
+			StaticW:  u.Power.StaticW,
+			EnergyMJ: u.Power.TotalW * u.Power.Seconds * 1e3,
+		}
+		row.EDPnJs = row.EnergyMJ * u.Power.Seconds * 1e3
 		rows[i] = row
 	}
 	return rows, nil

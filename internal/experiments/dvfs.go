@@ -74,9 +74,7 @@ func DVFS() (*DVFSResult, error) {
 	return runDVFS(nil)
 }
 
-// runDVFS plans, runs and reduces the sweep, optionally filtered — the one
-// reduction both DVFS() and the CLI printer go through, so the printed
-// curve is the same arithmetic the equivalence tests pin.
+// runDVFS plans, runs and reduces the sweep, optionally filtered.
 func runDVFS(f sweep.Filter) (*DVFSResult, error) {
 	plan, err := DVFSSpec().Plan(f)
 	if err != nil {
@@ -86,15 +84,26 @@ func runDVFS(f sweep.Filter) (*DVFSResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return dvfsReduce(plan.Records(rs))
+}
+
+// dvfsReduce folds the sweep's flat cell records into the energy curve —
+// the one reduction DVFS(), the CLI report and the service's wire report
+// all go through, so the curve is the same arithmetic the equivalence
+// tests pin.
+func dvfsReduce(recs []*sweep.CellRecord) (*DVFSResult, error) {
 	res := &DVFSResult{MinEnergyScale: 1}
 	best := 0.0
-	for _, cr := range rs {
-		m := cr.Units[0].Meas
+	for _, rec := range recs {
+		if len(rec.Units) == 0 || rec.Units[0].Meas == nil {
+			return nil, fmt.Errorf("experiments: dvfs: record %s carries no measurement", rec.CoordString())
+		}
+		m := rec.Units[0].Meas
 		pt := DVFSPoint{
-			ClockScale:    cr.Cell.ClockScale,
+			ClockScale:    rec.ClockScale,
 			PowerW:        m.AvgPowerW,
-			KernelSeconds: m.TrueKernelSeconds,
-			EnergyMJ:      m.AvgPowerW * m.TrueKernelSeconds * 1e3,
+			KernelSeconds: m.KernelSeconds,
+			EnergyMJ:      m.AvgPowerW * m.KernelSeconds * 1e3,
 		}
 		res.Points = append(res.Points, pt)
 		if best == 0 || pt.EnergyMJ < best {

@@ -143,15 +143,23 @@ func Fig6(gpuName string) (*Fig6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fig6Reduce(gpuName, rs)
+	return fig6Reduce(gpuName, plan.Records(rs))
 }
 
-// fig6Reduce folds the sweep's cell results into the figure: per-kernel
-// aggregation in cell order (multi-launch kernels average arithmetically),
-// against the per-card static power estimated with the methodology
-// available for each card.
-func fig6Reduce(gpuName string, rs []*sweep.CellResult) (*Fig6Result, error) {
-	mk := config.Presets()[gpuName]
+// fig6Reduce folds the sweep's flat cell records into the figure:
+// per-kernel aggregation in record (= cell) order — multi-launch kernels
+// average arithmetically — against the per-card static power estimated
+// with the methodology available for each card. Reducing from wire
+// records rather than live results is what lets the service serve the
+// same figure from a finished job's record stream, bit-identically.
+func fig6Reduce(gpuName string, recs []*sweep.CellRecord) (*Fig6Result, error) {
+	mk, ok := config.Presets()[gpuName]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown GPU %q", gpuName)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("experiments: fig6: no cell records for %s", gpuName)
+	}
 
 	// Simulated static power from the model, measured static power from the
 	// card (paper Section IV-B / V-A), estimated once per card.
@@ -169,24 +177,27 @@ func fig6Reduce(gpuName string, rs []*sweep.CellResult) (*Fig6Result, error) {
 		return nil, err
 	}
 
-	// Deterministic merge in cell (= suite) order.
+	// Deterministic merge in record (= suite) order.
 	perKernel := map[string]*fig6Agg{}
 	var order []string
-	for _, cr := range rs {
-		for i := range cr.Units {
-			ur := &cr.Units[i]
-			a := perKernel[ur.Unit.Name]
+	for _, rec := range recs {
+		for i := range rec.Units {
+			ur := &rec.Units[i]
+			if ur.Power == nil || ur.Meas == nil {
+				return nil, fmt.Errorf("experiments: fig6: record %s unit %s missing power/measurement", rec.CoordString(), ur.Name)
+			}
+			a := perKernel[ur.Name]
 			if a == nil {
-				a = &fig6Agg{name: ur.Unit.Name}
-				perKernel[ur.Unit.Name] = a
-				order = append(order, ur.Unit.Name)
+				a = &fig6Agg{name: ur.Name}
+				perKernel[ur.Name] = a
+				order = append(order, ur.Name)
 			}
 			a.simTotal += ur.Power.TotalW + ur.Power.DRAMW
 			a.measTotal += ur.Meas.AvgPowerW
 			a.n++
 			// The short-window flag matters only for kernels whose repeat
 			// count is capped (in-place kernels that cannot be stretched).
-			if ur.Meas.ShortWindow && ur.Unit.Repeats > 0 {
+			if ur.Meas.ShortWindow && ur.Repeats > 0 {
 				a.short = true
 			}
 		}

@@ -1,0 +1,82 @@
+package experiments
+
+// Golden-file contract of the Reduce/Render split: every registered
+// scenario's rendered text is pinned byte for byte in testdata/*.golden.
+// The files were captured from the pre-split Print* implementations, so
+// the typed reduction layer (reduce* -> sweep.Report -> sweep.RenderText)
+// provably changes no output. Regenerate deliberately with
+//
+//	go test ./internal/experiments -run TestGoldenReports -update
+//
+// after an intentional output change (and say so in the commit).
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpusimpow/internal/sweep"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the scenario golden files")
+
+// heavyScenarios are skipped in -short mode (full measurement grids /
+// waveform synthesis), matching the package's existing -short policy.
+var heavyScenarios = map[string]bool{
+	"fig4":  true,
+	"fig6":  true,
+	"fig6a": true,
+	"fig6b": true,
+}
+
+func TestGoldenReports(t *testing.T) {
+	for _, sc := range sweep.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if testing.Short() && heavyScenarios[sc.Name] {
+				t.Skip("heavy scenario in -short mode")
+			}
+			var buf bytes.Buffer
+			if err := sweep.RunScenario(&buf, sc.Name, nil); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", sc.Name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s: rendered report diverged from golden\n%s", sc.Name, diffLines(want, buf.Bytes()))
+			}
+		})
+	}
+}
+
+// diffLines reports the first diverging line, with context — enough to
+// debug a formatting regression without a full diff engine.
+func diffLines(want, got []byte) string {
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	n := len(w)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(w[i], g[i]) {
+			return fmt.Sprintf("line %d:\n want %q\n got  %q", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d, got %d", len(w), len(g))
+}

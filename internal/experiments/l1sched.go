@@ -71,20 +71,35 @@ func L1Sched(f sweep.Filter) ([]L1SchedRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]L1SchedRow, len(rs))
-	for i, cr := range rs {
-		u := &cr.Units[0]
-		p := u.Power
-		rows[i] = L1SchedRow{
-			L1:        cr.Cell.Value("l1"),
-			Sched:     cr.Cell.Value("sched"),
-			Cycles:    u.Timing.Perf.Activity.Cycles,
-			L1HitRate: u.Timing.Perf.L1HitRate,
-			TotalW:    p.TotalW,
-			DynamicW:  p.DynamicW,
-			StaticW:   p.StaticW,
-			EnergyMJ:  p.TotalW * p.Seconds * 1e3,
+	return l1SchedReduce(plan.Records(rs))
+}
+
+// l1SchedReduce folds the grid's flat cell records into rows — shared by
+// L1Sched, the CLI report and the service's wire report.
+func l1SchedReduce(recs []*sweep.CellRecord) ([]L1SchedRow, error) {
+	rows := make([]L1SchedRow, len(recs))
+	for i, rec := range recs {
+		if len(rec.Units) == 0 || rec.Units[0].Timing == nil || rec.Units[0].Power == nil {
+			return nil, fmt.Errorf("experiments: l1sched: record %s missing timing/power", rec.CoordString())
 		}
+		u := &rec.Units[0]
+		row := L1SchedRow{
+			Cycles:    u.Timing.Cycles,
+			L1HitRate: u.Timing.L1HitRate,
+			TotalW:    u.Power.TotalW,
+			DynamicW:  u.Power.DynamicW,
+			StaticW:   u.Power.StaticW,
+			EnergyMJ:  u.Power.TotalW * u.Power.Seconds * 1e3,
+		}
+		for _, co := range rec.Coords {
+			switch co.Axis {
+			case "l1":
+				row.L1 = co.Value
+			case "sched":
+				row.Sched = co.Value
+			}
+		}
+		rows[i] = row
 	}
 	return rows, nil
 }

@@ -77,11 +77,6 @@ func EnergyPerOpSpec() *sweep.Spec {
 // power stage) and the measurement stage yields the kernel energy; the
 // reduction differences the 31-lane and 1-lane cells per operation class.
 func EnergyPerOp() (*EnergyPerOpResult, error) {
-	cfg := config.GT240()
-	res := &EnergyPerOpResult{
-		NominalIntPJ: cfg.Power.IntOpPJ,
-		NominalFPPJ:  cfg.Power.FPOpPJ,
-	}
 	plan, err := EnergyPerOpSpec().Plan(nil)
 	if err != nil {
 		return nil, err
@@ -90,23 +85,41 @@ func EnergyPerOp() (*EnergyPerOpResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return energyPerOpReduce(plan.Records(rs))
+}
 
-	// Cells arrive in row-major order: (int,31), (int,1), (fp,31), (fp,1).
-	estimate := func(rs []*sweep.CellResult, isFP bool) (float64, error) {
+// energyPerOpReduce differences the grid's flat cell records: the wire
+// records carry the per-class thread-instruction counts
+// (TimingRecord.Int/FPThreadInstrs) and the measured kernel energy, which
+// is everything the methodology needs.
+func energyPerOpReduce(recs []*sweep.CellRecord) (*EnergyPerOpResult, error) {
+	if len(recs) != 4 {
+		return nil, fmt.Errorf("experiments: energyperop needs its full 4-cell grid, got %d record(s)", len(recs))
+	}
+	cfg := config.GT240()
+	res := &EnergyPerOpResult{
+		NominalIntPJ: cfg.Power.IntOpPJ,
+		NominalFPPJ:  cfg.Power.FPOpPJ,
+	}
+
+	// Records arrive in row-major order: (int,31), (int,1), (fp,31), (fp,1).
+	estimate := func(recs []*sweep.CellRecord, isFP bool) (float64, error) {
 		counts := [2]float64{}
 		energies := [2]float64{}
-		for i, cr := range rs {
-			u := &cr.Units[0]
-			a := &u.Timing.Perf.Activity
+		for i, rec := range recs {
+			if len(rec.Units) == 0 || rec.Units[0].Timing == nil || rec.Units[0].Meas == nil {
+				return 0, fmt.Errorf("experiments: energyperop: record %s missing timing/measurement", rec.CoordString())
+			}
+			u := &rec.Units[0]
 			if isFP {
-				counts[i] = float64(a.FPThreadInstrs)
+				counts[i] = float64(u.Timing.FPThreadInstrs)
 			} else {
-				counts[i] = float64(a.IntThreadInstrs)
+				counts[i] = float64(u.Timing.IntThreadInstrs)
 			}
 			// Energy per single kernel execution: average power above idle
 			// is what the execution units add; the paper differences two
 			// launches, cancelling everything except the enabled lanes.
-			energies[i] = u.Meas.AvgPowerW * u.Meas.TrueKernelSeconds
+			energies[i] = u.Meas.AvgPowerW * u.Meas.KernelSeconds
 		}
 		dE := energies[0] - energies[1]
 		dOps := counts[0] - counts[1]
@@ -115,11 +128,11 @@ func EnergyPerOp() (*EnergyPerOpResult, error) {
 		}
 		return dE / dOps * 1e12, nil
 	}
-	intPJ, err := estimate(rs[0:2], false)
+	intPJ, err := estimate(recs[0:2], false)
 	if err != nil {
 		return nil, err
 	}
-	fpPJ, err := estimate(rs[2:4], true)
+	fpPJ, err := estimate(recs[2:4], true)
 	if err != nil {
 		return nil, err
 	}

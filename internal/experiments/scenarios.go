@@ -2,73 +2,70 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 	"strings"
 
 	"gpusimpow/internal/sweep"
 )
 
 // This file registers every experiment as a named scenario in the sweep
-// registry, so front-ends (cmd/gpowexp) list, filter and run them without
-// hard-wired dispatch. Sweep-backed scenarios expose their Spec (axes are
-// listable and filterable); table-style artifacts register as plain
-// printable scenarios.
+// registry and carries the scenarios' reducers: pure functions folding a
+// run's flat cell records (or, for table-style artifacts, a fresh
+// computation) into typed sweep.Reports. Rendering is nowhere here — every
+// scenario's text output comes from the one generic sweep.RenderText, and
+// the golden tests (testdata/*.golden) pin it byte-identical to the
+// pre-split fmt.Fprintf printers. Because reducers consume wire records,
+// the service serves the same reports over GET /v1/jobs/{id}/report that
+// the CLI renders in-process.
 
 func init() {
 	sweep.Register(sweep.Scenario{
 		Name: "table2", Title: "Table II: key features of the evaluated GPU architectures",
-		Print: func(w io.Writer, _ sweep.Filter) error { return PrintTable2(w) },
+		Reduce: reduceTable2,
 	})
 	sweep.Register(sweep.Scenario{
 		Name: "table4", Title: "Table IV: static power and area (simulated vs. measured/datasheet)",
-		Print: func(w io.Writer, _ sweep.Filter) error { return PrintTable4(w) },
+		Reduce: reduceTable4,
 	})
 	sweep.Register(sweep.Scenario{
 		Name: "table5", Title: "Table V: blackscholes power breakdown on GT240",
-		Print: func(w io.Writer, _ sweep.Filter) error { return PrintTable5(w) },
+		Reduce: reduceTable5,
 	})
 	sweep.Register(sweep.Scenario{
 		Name: "fig4", Title: "Figure 4: GT240 power vs. thread block count (cluster staircase)",
-		Print: func(w io.Writer, _ sweep.Filter) error { return PrintFig4(w) },
+		Reduce: reduceFig4,
 	})
 	sweep.Register(sweep.Scenario{
 		Name: "fig6", Title: "Figure 6: simulated vs. measured power over the benchmark suite",
-		Spec:  Fig6Spec,
-		Print: PrintFig6,
+		Spec:        Fig6Spec,
+		Reduce:      reduceFig6,
+		CheckFilter: fig6CheckFilter,
 	})
 	sweep.Register(sweep.Scenario{
 		Name: "fig6a", Title: "Figure 6a: simulated vs. measured power, GT240",
-		Print: func(w io.Writer, _ sweep.Filter) error {
-			return PrintFig6(w, sweep.Filter{"gpu": {"GT240"}})
+		Reduce: func(_ []*sweep.CellRecord, _ sweep.Filter) (*sweep.Report, error) {
+			return fig6SubReport("fig6a", "GT240")
 		},
 	})
 	sweep.Register(sweep.Scenario{
 		Name: "fig6b", Title: "Figure 6b: simulated vs. measured power, GTX580",
-		Print: func(w io.Writer, _ sweep.Filter) error {
-			return PrintFig6(w, sweep.Filter{"gpu": {"GTX580"}})
+		Reduce: func(_ []*sweep.CellRecord, _ sweep.Filter) (*sweep.Report, error) {
+			return fig6SubReport("fig6b", "GTX580")
 		},
 	})
 	sweep.Register(sweep.Scenario{
 		Name: "energyperop", Title: "Section III-D: execution unit energy via lane differencing",
-		Spec: EnergyPerOpSpec,
-		Print: func(w io.Writer, f sweep.Filter) error {
-			// The lane-differencing reduction needs the full grid: filters
-			// would break the 31-vs-1 pairing, so reject them rather than
-			// silently printing an unrestricted run.
-			if len(f) > 0 {
-				return fmt.Errorf("experiments: energyperop needs its full grid (31-vs-1 lane differencing); run it unfiltered")
-			}
-			return PrintEnergyPerOp(w)
-		},
+		Spec:        EnergyPerOpSpec,
+		Reduce:      reduceEnergyPerOp,
+		CheckFilter: energyPerOpCheckFilter,
 	})
 	sweep.Register(sweep.Scenario{
 		Name: "staticextrap", Title: "Section IV-B: static power by frequency extrapolation (GT240)",
-		Print: func(w io.Writer, _ sweep.Filter) error { return PrintStaticExtrap(w) },
+		Reduce: reduceStaticExtrap,
 	})
 	sweep.Register(sweep.Scenario{
 		Name: "dvfs", Title: "DVFS sweep: compute-bound kernel on the virtual GT240",
-		Spec:  DVFSSpec,
-		Print: PrintDVFS,
+		Spec:   DVFSSpec,
+		Reduce: reduceDVFS,
 	})
 
 	ablations := []struct {
@@ -87,203 +84,390 @@ func init() {
 		sweep.Register(sweep.Scenario{
 			Name: sp.Name, Title: sp.Title,
 			Spec: a.spec,
-			Print: func(w io.Writer, f sweep.Filter) error {
-				return printAblation(w, a.title, a.spec(), f)
+			Reduce: func(recs []*sweep.CellRecord, _ sweep.Filter) (*sweep.Report, error) {
+				return reduceAblation(sp.Name, a.title, recs)
 			},
 		})
 	}
 	sweep.Register(sweep.Scenario{
 		Name: "l1sched", Title: "Extension: L1 size x scheduler policy on a reuse-heavy workload (GTX580)",
-		Spec:  L1SchedSpec,
-		Print: PrintL1Sched,
+		Spec:   L1SchedSpec,
+		Reduce: reduceL1Sched,
 	})
 	sweep.Register(sweep.Scenario{
 		Name: "ablation", Title: "All five design-choice ablation studies",
-		Print: func(w io.Writer, _ sweep.Filter) error {
+		Reduce: func(_ []*sweep.CellRecord, _ sweep.Filter) (*sweep.Report, error) {
+			rep := &sweep.Report{Scenario: "ablation"}
 			for _, a := range ablations {
-				if err := printAblation(w, a.title, a.spec(), nil); err != nil {
-					return err
+				sub, err := sweep.BuildReport(a.spec().Name, nil)
+				if err != nil {
+					return nil, err
 				}
+				rep.Sections = append(rep.Sections, sub.Sections...)
 			}
-			return nil
+			return rep, nil
 		},
 	})
 }
 
-// PrintTable2 renders Table II.
-func PrintTable2(w io.Writer) error {
-	fmt.Fprintln(w, "Table II: key features of the evaluated GPU architectures")
-	fmt.Fprintf(w, "%-20s %12s %12s\n", "Feature", "GT240", "GTX580")
-	for _, r := range Table2() {
-		fmt.Fprintf(w, "%-20s %12s %12s\n", r.Feature, r.GT240, r.GTX580)
+// reduceTable2 builds Table II (pure configuration data; no records).
+func reduceTable2(_ []*sweep.CellRecord, _ sweep.Filter) (*sweep.Report, error) {
+	sec := sweep.Section{
+		Title: "Table II: key features of the evaluated GPU architectures",
+		Columns: []sweep.Column{
+			{Label: "Feature", Format: "%-20s"},
+			{Label: "GT240", Format: "%12s"},
+			{Label: "GTX580", Format: "%12s"},
+		},
+		Header: true,
 	}
-	return nil
+	for _, r := range Table2() {
+		sec.Rows = append(sec.Rows, []sweep.Datum{sweep.Str(r.Feature), sweep.Str(r.GT240), sweep.Str(r.GTX580)})
+	}
+	return &sweep.Report{Scenario: "table2", Sections: []sweep.Section{sec}}, nil
 }
 
-// PrintTable4 renders Table IV.
-func PrintTable4(w io.Writer) error {
+// reduceTable4 builds Table IV.
+func reduceTable4(_ []*sweep.CellRecord, _ sweep.Filter) (*sweep.Report, error) {
 	rows, err := Table4()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Table IV: static power and area (simulated vs. measured/datasheet)")
-	fmt.Fprintf(w, "%-8s %-10s %12s %12s\n", "GPU", "", "Static [W]", "Area [mm2]")
+	sec := sweep.Section{
+		Title: "Table IV: static power and area (simulated vs. measured/datasheet)",
+		Columns: []sweep.Column{
+			{Label: "GPU", Format: "%-8s"},
+			{Label: "", Format: "%-10s"},
+			{Label: "Static [W]", Unit: "W", Format: "%12.1f", Head: "%12s"},
+			{Label: "Area [mm2]", Unit: "mm2", Format: "%12.1f", Head: "%12s"},
+		},
+		Header: true,
+	}
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %-10s %12.1f %12.1f\n", r.GPU, "Simulated", r.SimStaticW, r.SimAreaMM2)
-		fmt.Fprintf(w, "%-8s %-10s %12.1f %12.1f\n", "", "Real", r.RealStaticW, r.RealAreaMM2)
+		sec.Rows = append(sec.Rows,
+			[]sweep.Datum{sweep.Str(r.GPU), sweep.Str("Simulated"), sweep.Num(r.SimStaticW), sweep.Num(r.SimAreaMM2)},
+			[]sweep.Datum{sweep.Str(""), sweep.Str("Real"), sweep.Num(r.RealStaticW), sweep.Num(r.RealAreaMM2)},
+		)
 	}
-	return nil
+	return &sweep.Report{Scenario: "table4", Sections: []sweep.Section{sec}}, nil
 }
 
-// PrintTable5 renders Table V.
-func PrintTable5(w io.Writer) error {
+// reduceTable5 builds Table V: the blackscholes power profile in the
+// paper's hierarchical shape (chip level, then one core, then DRAM).
+// The layout deliberately matches core.KernelReport.WriteProfile — the
+// per-kernel profile cmd/gpusimpow prints — column for column; the two
+// cannot share code (core cannot import sweep), so each pins its shape in
+// tests: table5.golden here, TestWriteProfileFormat in internal/core.
+// Change one and the other must follow.
+func reduceTable5(_ []*sweep.CellRecord, _ sweep.Filter) (*sweep.Report, error) {
 	rep, err := Table5()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Table V: blackscholes power breakdown on GT240")
-	return rep.WriteProfile(w)
+	p := rep.Power
+	gpuSec := sweep.Section{
+		Columns: []sweep.Column{
+			{Label: "GPU", Format: "%-22s"},
+			{Label: "Static [W]", Unit: "W", Format: "%10.3f", Head: "%10s"},
+			{Label: "Dynamic [W]", Unit: "W", Format: "%11.3f", Head: "%11s"},
+			{Label: "Percent", Unit: "%", Format: "%7.1f%%", Head: "%8s"},
+		},
+		Header: true,
+		Rows: [][]sweep.Datum{
+			{sweep.Str("Overall"), sweep.Num(p.StaticW), sweep.Num(p.DynamicW), sweep.Num(100.0)},
+		},
+	}
+	for _, it := range p.GPU {
+		gpuSec.Rows = append(gpuSec.Rows, []sweep.Datum{
+			sweep.Str(it.Name), sweep.Num(it.StaticW), sweep.Num(it.DynamicW), sweep.Num(100 * it.Total() / p.TotalW),
+		})
+	}
+	var coreTotal float64
+	for _, it := range p.Core {
+		coreTotal += it.Total()
+	}
+	coreSec := sweep.Section{
+		Columns: []sweep.Column{
+			{Label: "Core", Format: "%-22s"},
+			{Label: "Static [W]", Unit: "W", Format: "%10.4f", Head: "%10s"},
+			{Label: "Dynamic [W]", Unit: "W", Format: "%11.4f", Head: "%11s"},
+			{Label: "Percent", Unit: "%", Format: "%7.1f%%", Head: "%8s"},
+		},
+		Header: true,
+	}
+	for _, it := range p.Core {
+		coreSec.Rows = append(coreSec.Rows, []sweep.Datum{
+			sweep.Str(it.Name), sweep.Num(it.StaticW), sweep.Num(it.DynamicW), sweep.Num(100 * it.Total() / coreTotal),
+		})
+	}
+	return &sweep.Report{Scenario: "table5", Sections: []sweep.Section{
+		{
+			Title: "Table V: blackscholes power breakdown on GT240",
+			Notes: []sweep.Note{sweep.Notef("Power profile: %s on %s (runtime %.3g s)",
+				sweep.Str(rep.Kernel), sweep.Str(p.GPUName), sweep.Num(p.Seconds))},
+		},
+		gpuSec,
+		coreSec,
+		{
+			Notes: []sweep.Note{sweep.Notef(
+				"External DRAM: %.3f W (background %.2f, activate %.2f, r/w %.2f, term %.2f, refresh %.2f)",
+				sweep.Num(p.DRAMW), sweep.Num(p.DRAM.Background), sweep.Num(p.DRAM.Activate),
+				sweep.Num(p.DRAM.ReadWrite), sweep.Num(p.DRAM.Termination), sweep.Num(p.DRAM.Refresh))},
+		},
+	}}, nil
 }
 
-// PrintFig4 renders the Figure 4 staircase.
-func PrintFig4(w io.Writer) error {
+// reduceFig4 builds the Figure 4 staircase.
+func reduceFig4(_ []*sweep.CellRecord, _ sweep.Filter) (*sweep.Report, error) {
 	r, err := Fig4()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Figure 4: GT240 power vs. thread block count (cluster staircase)")
-	fmt.Fprintf(w, "idle (pre/post kernel): %.2f W\n", r.IdleW)
+	bars := sweep.Section{
+		Columns: []sweep.Column{
+			{Label: "blocks", Format: "%2d block(s):"},
+			{Label: "power", Unit: "W", Format: "%6.2f W "},
+			{Label: "bar", Format: "|%s"},
+		},
+	}
 	maxP := r.PowerPerBlocks[len(r.PowerPerBlocks)-1]
 	for i, p := range r.PowerPerBlocks {
 		bar := strings.Repeat("#", int(40*(p-r.IdleW)/(maxP-r.IdleW)))
-		fmt.Fprintf(w, "%2d block(s): %6.2f W  |%s\n", i+1, p, bar)
+		bars.Rows = append(bars.Rows, []sweep.Datum{sweep.Uint(uint64(i + 1)), sweep.Num(p), sweep.Str(bar)})
 	}
-	fmt.Fprintf(w, "first block delta: %.2f W (global scheduler + cluster + core)\n", r.FirstBlockDeltaW)
-	fmt.Fprintf(w, "cluster step (blocks 2-4):  %.3f W\n", r.ClusterStepW)
-	fmt.Fprintf(w, "core step (blocks 5-12):    %.3f W\n", r.CoreStepW)
-	fmt.Fprintf(w, "cluster activation premium: %.3f W (paper: 0.692 W)\n", r.ClusterStepW-r.CoreStepW)
-	return nil
+	bars.Notes = []sweep.Note{
+		sweep.Notef("first block delta: %.2f W (global scheduler + cluster + core)", sweep.Num(r.FirstBlockDeltaW)),
+		sweep.Notef("cluster step (blocks 2-4):  %.3f W", sweep.Num(r.ClusterStepW)),
+		sweep.Notef("core step (blocks 5-12):    %.3f W", sweep.Num(r.CoreStepW)),
+		sweep.Notef("cluster activation premium: %.3f W (paper: 0.692 W)", sweep.Num(r.ClusterStepW-r.CoreStepW)),
+	}
+	return &sweep.Report{Scenario: "fig4", Sections: []sweep.Section{
+		{
+			Title: "Figure 4: GT240 power vs. thread block count (cluster staircase)",
+			Notes: []sweep.Note{sweep.Notef("idle (pre/post kernel): %.2f W", sweep.Num(r.IdleW))},
+		},
+		bars,
+	}}, nil
 }
 
-// PrintFig6 renders one sub-figure of Figure 6 per GPU the filter admits
-// (both when unfiltered).
-func PrintFig6(w io.Writer, f sweep.Filter) error {
-	gpus := f["gpu"]
-	if len(gpus) == 0 {
-		gpus = []string{"GT240", "GTX580"}
-	}
-	// Non-gpu filter axes (e.g. bench=...) would silently bias the error
-	// aggregates, so restrict filtering to whole sub-figures.
+// fig6CheckFilter restricts Figure 6 filtering to whole sub-figures:
+// non-gpu axes (e.g. bench=...) would silently bias the error aggregates.
+func fig6CheckFilter(f sweep.Filter) error {
 	for axis := range f {
 		if axis != "gpu" {
 			return fmt.Errorf("experiments: fig6 filters on gpu only (got %s=...)", axis)
 		}
 	}
-	for i, gpu := range gpus {
-		if i > 0 {
-			fmt.Fprintln(w)
-		}
-		r, err := Fig6(gpu)
-		if err != nil {
-			return err
-		}
-		sub := "6a"
-		if gpu == "GTX580" {
-			sub = "6b"
-		}
-		fmt.Fprintf(w, "Figure %s: simulated vs. measured power, %s\n", sub, gpu)
-		fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %7s %s\n",
-			"Kernel", "SimStat", "SimDyn", "MeasStat", "MeasDyn", "Err%", "")
-		for _, b := range r.Bars {
-			note := ""
-			if b.ShortWindow {
-				note = "(short measurement window)"
+	return nil
+}
+
+// reduceFig6 folds the validation grid's records into one sub-figure per
+// admitted GPU (both when unfiltered), in GPU order.
+func reduceFig6(recs []*sweep.CellRecord, f sweep.Filter) (*sweep.Report, error) {
+	if err := fig6CheckFilter(f); err != nil {
+		return nil, err
+	}
+	gpus := f["gpu"]
+	if len(gpus) == 0 {
+		gpus = []string{"GT240", "GTX580"}
+	}
+	byGPU := map[string][]*sweep.CellRecord{}
+	for _, rec := range recs {
+		var gpu string
+		for _, co := range rec.Coords {
+			if co.Axis == "gpu" {
+				gpu = co.Value
 			}
-			fmt.Fprintf(w, "%-14s %10.2f %10.2f %10.2f %10.2f %7.1f %s\n",
-				b.Kernel, b.SimStaticW, b.SimDynamicW, b.MeasStaticW, b.MeasDynamicW, b.RelErrPct, note)
 		}
-		fmt.Fprintf(w, "average relative error: %.1f%% (paper: %s)\n", r.AvgRelErrPct,
-			map[string]string{"GT240": "11.7%", "GTX580": "10.8%"}[gpu])
-		fmt.Fprintf(w, "dynamic-only average relative error: %.1f%% (paper: %s)\n", r.DynAvgRelErrPct,
-			map[string]string{"GT240": "28.3%", "GTX580": "20.9%"}[gpu])
-		fmt.Fprintf(w, "max relative error: %.1f%% on %s\n", r.MaxRelErrPct, r.MaxErrKernel)
-		fmt.Fprintf(w, "kernels overestimated: %.0f%%\n", 100*r.OverestimatedFraction)
+		byGPU[gpu] = append(byGPU[gpu], rec)
 	}
-	return nil
+	rep := &sweep.Report{Scenario: "fig6"}
+	for i, gpu := range gpus {
+		r, err := fig6Reduce(gpu, byGPU[gpu])
+		if err != nil {
+			return nil, err
+		}
+		rep.Sections = append(rep.Sections, fig6Section(r, i > 0))
+	}
+	return rep, nil
 }
 
-// PrintEnergyPerOp renders the Section III-D estimates.
-func PrintEnergyPerOp(w io.Writer) error {
-	r, err := EnergyPerOp()
+// fig6SubReport builds one sub-figure (fig6a/fig6b) by running the fig6
+// sweep restricted to its GPU.
+func fig6SubReport(name, gpu string) (*sweep.Report, error) {
+	rep, err := sweep.BuildReport("fig6", sweep.Filter{"gpu": {gpu}})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Section III-D: execution unit energy via lane differencing")
-	fmt.Fprintf(w, "INT: measured %.1f pJ/op (model anchor %.0f pJ; paper ~40 pJ)\n", r.IntOpPJ, r.NominalIntPJ)
-	fmt.Fprintf(w, "FP:  measured %.1f pJ/op (model anchor %.0f pJ; paper ~75 pJ, NVIDIA reports 50 pJ)\n", r.FPOpPJ, r.NominalFPPJ)
+	rep.Scenario = name
+	return rep, nil
+}
+
+// fig6Section lays out one sub-figure's bars and error aggregates.
+func fig6Section(r *Fig6Result, gap bool) sweep.Section {
+	sub := "6a"
+	if r.GPU == "GTX580" {
+		sub = "6b"
+	}
+	sec := sweep.Section{
+		Gap:   gap,
+		Title: fmt.Sprintf("Figure %s: simulated vs. measured power, %s", sub, r.GPU),
+		Columns: []sweep.Column{
+			{Label: "Kernel", Format: "%-14s"},
+			{Label: "SimStat", Unit: "W", Format: "%10.2f", Head: "%10s"},
+			{Label: "SimDyn", Unit: "W", Format: "%10.2f", Head: "%10s"},
+			{Label: "MeasStat", Unit: "W", Format: "%10.2f", Head: "%10s"},
+			{Label: "MeasDyn", Unit: "W", Format: "%10.2f", Head: "%10s"},
+			{Label: "Err%", Unit: "%", Format: "%7.1f", Head: "%7s"},
+			{Label: "", Format: "%s"},
+		},
+		Header: true,
+	}
+	for _, b := range r.Bars {
+		note := ""
+		if b.ShortWindow {
+			note = "(short measurement window)"
+		}
+		sec.Rows = append(sec.Rows, []sweep.Datum{
+			sweep.Str(b.Kernel), sweep.Num(b.SimStaticW), sweep.Num(b.SimDynamicW),
+			sweep.Num(b.MeasStaticW), sweep.Num(b.MeasDynamicW), sweep.Num(b.RelErrPct), sweep.Str(note),
+		})
+	}
+	sec.Notes = []sweep.Note{
+		sweep.Notef("average relative error: %.1f%% (paper: %s)", sweep.Num(r.AvgRelErrPct),
+			sweep.Str(map[string]string{"GT240": "11.7%", "GTX580": "10.8%"}[r.GPU])),
+		sweep.Notef("dynamic-only average relative error: %.1f%% (paper: %s)", sweep.Num(r.DynAvgRelErrPct),
+			sweep.Str(map[string]string{"GT240": "28.3%", "GTX580": "20.9%"}[r.GPU])),
+		sweep.Notef("max relative error: %.1f%% on %s", sweep.Num(r.MaxRelErrPct), sweep.Str(r.MaxErrKernel)),
+		sweep.Notef("kernels overestimated: %.0f%%", sweep.Num(100*r.OverestimatedFraction)),
+	}
+	return sec
+}
+
+// energyPerOpCheckFilter rejects any filter: the 31-vs-1 lane pairing
+// needs the full grid.
+func energyPerOpCheckFilter(f sweep.Filter) error {
+	if len(f) > 0 {
+		return fmt.Errorf("experiments: energyperop needs its full grid (31-vs-1 lane differencing); run it unfiltered")
+	}
 	return nil
 }
 
-// PrintStaticExtrap renders the Section IV-B methodology check.
-func PrintStaticExtrap(w io.Writer) error {
+// reduceEnergyPerOp builds the Section III-D estimates from the grid's
+// records.
+func reduceEnergyPerOp(recs []*sweep.CellRecord, f sweep.Filter) (*sweep.Report, error) {
+	if err := energyPerOpCheckFilter(f); err != nil {
+		return nil, err
+	}
+	r, err := energyPerOpReduce(recs)
+	if err != nil {
+		return nil, err
+	}
+	return &sweep.Report{Scenario: "energyperop", Sections: []sweep.Section{{
+		Title: "Section III-D: execution unit energy via lane differencing",
+		Notes: []sweep.Note{
+			sweep.Notef("INT: measured %.1f pJ/op (model anchor %.0f pJ; paper ~40 pJ)",
+				sweep.Num(r.IntOpPJ), sweep.Num(r.NominalIntPJ)),
+			sweep.Notef("FP:  measured %.1f pJ/op (model anchor %.0f pJ; paper ~75 pJ, NVIDIA reports 50 pJ)",
+				sweep.Num(r.FPOpPJ), sweep.Num(r.NominalFPPJ)),
+		},
+	}}}, nil
+}
+
+// reduceStaticExtrap builds the Section IV-B methodology check.
+func reduceStaticExtrap(_ []*sweep.CellRecord, _ sweep.Filter) (*sweep.Report, error) {
 	r, err := StaticExtrapolation()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Section IV-B: static power by frequency extrapolation (GT240)")
-	fmt.Fprintf(w, "estimated %.2f W vs. true card leakage %.2f W (error %.1f%%)\n",
-		r.EstimatedStaticW, r.TrueStaticW, r.ErrPct)
-	return nil
+	return &sweep.Report{Scenario: "staticextrap", Sections: []sweep.Section{{
+		Title: "Section IV-B: static power by frequency extrapolation (GT240)",
+		Notes: []sweep.Note{sweep.Notef("estimated %.2f W vs. true card leakage %.2f W (error %.1f%%)",
+			sweep.Num(r.EstimatedStaticW), sweep.Num(r.TrueStaticW), sweep.Num(r.ErrPct))},
+	}}}, nil
 }
 
-// PrintDVFS renders the DVFS energy curve; a scale filter restricts the
-// measured operating points. The reduction is runDVFS — the same code the
-// equivalence tests pin — so the printed numbers cannot drift from the
-// DVFS() API.
-func PrintDVFS(w io.Writer, f sweep.Filter) error {
-	r, err := runDVFS(f)
+// reduceDVFS builds the DVFS energy curve from the sweep's records; a
+// scale filter restricts the measured operating points.
+func reduceDVFS(recs []*sweep.CellRecord, _ sweep.Filter) (*sweep.Report, error) {
+	r, err := dvfsReduce(recs)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "DVFS sweep: compute-bound kernel on the virtual GT240")
-	fmt.Fprintf(w, "%8s %10s %12s %11s\n", "Clock", "Power W", "Kernel s", "Energy mJ")
+	sec := sweep.Section{
+		Title: "DVFS sweep: compute-bound kernel on the virtual GT240",
+		Columns: []sweep.Column{
+			{Label: "Clock", Unit: "%", Format: "%7.0f%%", Head: "%8s"},
+			{Label: "Power W", Unit: "W", Format: "%10.2f", Head: "%10s"},
+			{Label: "Kernel s", Unit: "s", Format: "%12.3g", Head: "%12s"},
+			{Label: "Energy mJ", Unit: "mJ", Format: "%11.4f", Head: "%11s"},
+		},
+		Header: true,
+	}
 	for _, p := range r.Points {
-		fmt.Fprintf(w, "%7.0f%% %10.2f %12.3g %11.4f\n", p.ClockScale*100, p.PowerW, p.KernelSeconds, p.EnergyMJ)
+		sec.Rows = append(sec.Rows, []sweep.Datum{
+			sweep.Num(p.ClockScale * 100), sweep.Num(p.PowerW), sweep.Num(p.KernelSeconds), sweep.Num(p.EnergyMJ),
+		})
 	}
-	fmt.Fprintf(w, "energy-optimal clock: %.0f%% (leakage-dominated cards race to idle)\n", r.MinEnergyScale*100)
-	return nil
+	sec.Notes = []sweep.Note{sweep.Notef("energy-optimal clock: %.0f%% (leakage-dominated cards race to idle)",
+		sweep.Num(r.MinEnergyScale*100))}
+	return &sweep.Report{Scenario: "dvfs", Sections: []sweep.Section{sec}}, nil
 }
 
-// PrintL1Sched renders the L1-size x scheduler grid, optionally filtered
+// reduceL1Sched builds the L1-size x scheduler grid, optionally filtered
 // on either axis.
-func PrintL1Sched(w io.Writer, f sweep.Filter) error {
-	rows, err := L1Sched(f)
+func reduceL1Sched(recs []*sweep.CellRecord, _ sweep.Filter) (*sweep.Report, error) {
+	rows, err := l1SchedReduce(recs)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Extension: L1 size x warp scheduler policy, reuse-heavy workload (GTX580)")
-	fmt.Fprintf(w, "%-6s %-9s %10s %8s %9s %9s %9s %10s\n",
-		"L1", "Sched", "Cycles", "L1 hit", "Total W", "Dyn W", "Stat W", "Energy mJ")
+	sec := sweep.Section{
+		Title: "Extension: L1 size x warp scheduler policy, reuse-heavy workload (GTX580)",
+		Columns: []sweep.Column{
+			{Label: "L1", Format: "%-6s"},
+			{Label: "Sched", Format: "%-9s"},
+			{Label: "Cycles", Unit: "cycles", Format: "%10d", Head: "%10s"},
+			{Label: "L1 hit", Unit: "%", Format: "%7.1f%%", Head: "%8s"},
+			{Label: "Total W", Unit: "W", Format: "%9.2f", Head: "%9s"},
+			{Label: "Dyn W", Unit: "W", Format: "%9.2f", Head: "%9s"},
+			{Label: "Stat W", Unit: "W", Format: "%9.2f", Head: "%9s"},
+			{Label: "Energy mJ", Unit: "mJ", Format: "%10.3f", Head: "%10s"},
+		},
+		Header: true,
+	}
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-6s %-9s %10d %7.1f%% %9.2f %9.2f %9.2f %10.3f\n",
-			r.L1, r.Sched, r.Cycles, 100*r.L1HitRate, r.TotalW, r.DynamicW, r.StaticW, r.EnergyMJ)
+		sec.Rows = append(sec.Rows, []sweep.Datum{
+			sweep.Str(r.L1), sweep.Str(r.Sched), sweep.Uint(r.Cycles), sweep.Num(100 * r.L1HitRate),
+			sweep.Num(r.TotalW), sweep.Num(r.DynamicW), sweep.Num(r.StaticW), sweep.Num(r.EnergyMJ),
+		})
 	}
-	return nil
+	return &sweep.Report{Scenario: "l1sched", Sections: []sweep.Section{sec}}, nil
 }
 
-// printAblation renders one design-choice study, optionally filtered on its
-// variant axis. Rows come from runAblation — the reduction the equivalence
-// tests pin.
-func printAblation(w io.Writer, title string, spec *sweep.Spec, f sweep.Filter) error {
-	rows, err := runAblation(spec, f)
+// reduceAblation builds one design-choice study's table from its records.
+func reduceAblation(name, title string, recs []*sweep.CellRecord) (*sweep.Report, error) {
+	rows, err := ablationReduce(recs)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Ablation:", title)
-	fmt.Fprintf(w, "  %-28s %10s %9s %9s %9s %10s\n", "Variant", "Cycles", "Total W", "Dyn W", "Stat W", "Energy mJ")
+	sec := sweep.Section{
+		Title:  "Ablation: " + title,
+		Indent: "  ",
+		Columns: []sweep.Column{
+			{Label: "Variant", Format: "%-28s"},
+			{Label: "Cycles", Unit: "cycles", Format: "%10d", Head: "%10s"},
+			{Label: "Total W", Unit: "W", Format: "%9.2f", Head: "%9s"},
+			{Label: "Dyn W", Unit: "W", Format: "%9.2f", Head: "%9s"},
+			{Label: "Stat W", Unit: "W", Format: "%9.2f", Head: "%9s"},
+			{Label: "Energy mJ", Unit: "mJ", Format: "%10.3f", Head: "%10s"},
+		},
+		Header: true,
+	}
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-28s %10d %9.2f %9.2f %9.2f %10.3f\n",
-			r.Variant, r.Cycles, r.TotalW, r.DynamicW, r.StaticW, r.EnergyMJ)
+		sec.Rows = append(sec.Rows, []sweep.Datum{
+			sweep.Str(r.Variant), sweep.Uint(r.Cycles),
+			sweep.Num(r.TotalW), sweep.Num(r.DynamicW), sweep.Num(r.StaticW), sweep.Num(r.EnergyMJ),
+		})
 	}
-	return nil
+	return &sweep.Report{Scenario: name, Sections: []sweep.Section{sec}}, nil
 }

@@ -172,6 +172,64 @@ func (c *Client) StreamCells(ctx context.Context, id string, fn func(*sweep.Cell
 	}
 }
 
+// StreamEvents follows a job's NDJSON progress-event stream, invoking fn
+// for every sweep.Progress event in plan order (each embeds the completed
+// cell's record plus done/total counters and the cost-weighted completion
+// fraction). It returns when the stream ends, fn errors, or the stream
+// carries a terminal error line.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(*sweep.Progress) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		// Each line is either a Progress event or the terminal error
+		// envelope; events never carry an "error" key.
+		var line struct {
+			sweep.Progress
+			Error string `json:"error"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("service: decoding event stream: %w", err)
+		}
+		if line.Error != "" {
+			return fmt.Errorf("service: job %s: %s", id, line.Error)
+		}
+		if line.Progress.Cell == nil {
+			// Every real event embeds its cell record; a line without one
+			// (version skew, stray keepalive) is a protocol error, not
+			// something to hand consumers who will dereference the cell.
+			return fmt.Errorf("service: job %s: malformed progress event (no cell record)", id)
+		}
+		pr := line.Progress
+		if err := fn(&pr); err != nil {
+			return err
+		}
+	}
+}
+
+// Report fetches the finished job's reduced report — the server-side
+// counterpart of the in-process Reduce, bit-identical after the JSON hop.
+func (c *Client) Report(ctx context.Context, id string) (*sweep.Report, error) {
+	var rep sweep.Report
+	if err := c.getJSON(ctx, "/v1/jobs/"+id+"/report", &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
 // Run submits a request, streams every cell through fn, and returns the
 // job's final status — the remote analogue of Plan.Run. If the stream
 // (or fn) fails, the job is cancelled best-effort so the daemon does not

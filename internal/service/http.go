@@ -18,11 +18,20 @@ import (
 //	GET    /v1/jobs/{id}        one job's status
 //	DELETE /v1/jobs/{id}        cancel (idempotent) -> JobStatus
 //	GET    /v1/jobs/{id}/cells  NDJSON stream of CellRecords in plan order
+//	GET    /v1/jobs/{id}/events NDJSON stream of Progress events in plan order
+//	GET    /v1/jobs/{id}/report the scenario's reduced sweep.Report (JSON)
 //
-// The cells stream follows a running job live: each line is one
-// sweep.CellRecord, flushed as the cell completes, always in plan order.
-// If the job fails or is canceled mid-stream, a final {"error": "..."}
-// line terminates the stream.
+// The cells and events streams follow a running job live: each line is one
+// sweep.CellRecord (resp. sweep.Progress, which embeds the completed
+// cell's record plus done/total counters and the cost-weighted completion
+// fraction), flushed as the cell completes, always in plan order. If the
+// job fails or is canceled mid-stream, a final {"error": "..."} line
+// terminates the stream.
+//
+// The report endpoint reduces the finished job's records server-side
+// through the scenario registry's Reduce hook: 409 while the job is still
+// queued/running, 404 for scenarios without a reduction. The JSON is the
+// same typed Report the in-process CLI reduces, DeepEqual across the wire.
 func NewServer(m *Manager) http.Handler {
 	s := &server{m: m}
 	mux := http.NewServeMux()
@@ -32,6 +41,8 @@ func NewServer(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.jobStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/cells", s.jobCells)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.jobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.jobReport)
 	return mux
 }
 
@@ -125,6 +136,30 @@ func (s *server) cancelJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) jobCells(w http.ResponseWriter, r *http.Request) {
+	s.streamJob(w, r, func(j *Job, i int) (any, JobState, string) {
+		rec, state, errMsg := j.WaitCell(r.Context(), i)
+		if rec == nil {
+			return nil, state, errMsg
+		}
+		return rec, state, ""
+	})
+}
+
+func (s *server) jobEvents(w http.ResponseWriter, r *http.Request) {
+	s.streamJob(w, r, func(j *Job, i int) (any, JobState, string) {
+		pr, state, errMsg := j.WaitEvent(r.Context(), i)
+		if pr == nil {
+			return nil, state, errMsg
+		}
+		return pr, state, ""
+	})
+}
+
+// streamJob drives one NDJSON stream over a job: next(j, i) blocks for the
+// i-th line's payload (nil once the stream is exhausted or the context
+// dies), and a failed/canceled job terminates the stream with an
+// {"error": ...} line.
+func (s *server) streamJob(w http.ResponseWriter, r *http.Request, next func(*Job, int) (any, JobState, string)) {
 	j, ok := s.job(w, r)
 	if !ok {
 		return
@@ -140,18 +175,42 @@ func (s *server) jobCells(w http.ResponseWriter, r *http.Request) {
 	}
 	enc := json.NewEncoder(w)
 	for i := 0; ; i++ {
-		rec, state, errMsg := j.WaitCell(r.Context(), i)
-		if rec == nil {
+		line, state, errMsg := next(j, i)
+		if line == nil {
 			if state == StateFailed || state == StateCanceled {
 				_ = enc.Encode(map[string]string{"error": errMsg})
 			}
 			return
 		}
-		if err := enc.Encode(rec); err != nil {
+		if err := enc.Encode(line); err != nil {
 			return // client went away
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
+}
+
+func (s *server) jobReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	rep, err := j.Report()
+	if err != nil {
+		code := http.StatusUnprocessableEntity // reducer rejected the records
+		var notReady ErrNotReady
+		var gone ErrGone
+		switch {
+		case errors.As(err, &notReady):
+			code = http.StatusConflict
+		case errors.As(err, &gone):
+			code = http.StatusGone
+		case errors.Is(err, ErrNoReduction):
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }

@@ -17,6 +17,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -38,6 +39,15 @@ type Options struct {
 	// above which rising eviction counts reject new jobs (0 selects 0.9).
 	// Irrelevant when no byte budget is configured.
 	CachePressure float64
+	// RetainJobs bounds how many terminal (done/failed/canceled) jobs stay
+	// in the table — their records back /cells replays and /report, so
+	// retention is the job-state memory bound. Oldest terminal jobs are
+	// pruned first; queued and running jobs are never pruned. <= 0 keeps
+	// everything.
+	RetainJobs int
+	// RetainAge prunes terminal jobs whose finish time is older than this,
+	// independent of RetainJobs. 0 keeps everything.
+	RetainAge time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -117,15 +127,23 @@ type Job struct {
 
 	// records accumulates streamed cell records; the sweep's stream
 	// callback is serialized in plan order, so records[i] is always the
-	// cell with Index i.
-	records  []*sweep.CellRecord
-	costDone float64
+	// cell with Index i. fractions[i] is the cost-weighted completion
+	// fraction after cell i (what the events stream reports).
+	records   []*sweep.CellRecord
+	fractions []float64
+	costDone  float64
+
+	// report memoizes the scenario's reduction of the finished job.
+	report *sweep.Report
+
+	// eta is the manager's shared wall-clock calibration.
+	eta *etaModel
 
 	cancel context.CancelFunc
 }
 
-func newJob(id string, req sweep.JobRequest, plan *sweep.Plan, now time.Time) *Job {
-	j := &Job{id: id, request: req, plan: plan, state: StateQueued, created: now}
+func newJob(id string, req sweep.JobRequest, plan *sweep.Plan, eta *etaModel, now time.Time) *Job {
+	j := &Job{id: id, request: req, plan: plan, eta: eta, state: StateQueued, created: now}
 	j.cond = sync.NewCond(&j.mu)
 	return j
 }
@@ -161,9 +179,23 @@ func (j *Job) Status() JobStatus {
 		t := j.finished
 		st.Finished = &t
 	}
-	if j.state == StateRunning && j.costDone > 0 && j.costDone < 1 {
-		elapsed := time.Since(j.started).Seconds()
-		st.ETASeconds = elapsed * (1 - j.costDone) / j.costDone
+	if j.state == StateRunning && j.costDone < 1 {
+		// Calibrated ETA first: remaining cost units scaled by the
+		// manager's observed seconds-per-unit EWMA — available before this
+		// job's own first cell completes, once any job has fed the model.
+		// Fallback: extrapolate this job's own elapsed/progress ratio.
+		calibrated := false
+		if j.cost != nil && j.eta != nil {
+			remaining := (1 - j.costDone) * float64(j.cost.EstCycles)
+			if eta, ok := j.eta.estimate(remaining); ok {
+				st.ETASeconds = eta
+				calibrated = true
+			}
+		}
+		if !calibrated && j.costDone > 0 {
+			elapsed := time.Since(j.started).Seconds()
+			st.ETASeconds = elapsed * (1 - j.costDone) / j.costDone
+		}
 	}
 	return st
 }
@@ -197,6 +229,93 @@ func (j *Job) WaitCell(ctx context.Context, i int) (*sweep.CellRecord, JobState,
 	return nil, j.state, j.err
 }
 
+// WaitEvent is WaitCell's progress-event analogue: it blocks until cell
+// i's record is available and wraps it in a structured sweep.Progress
+// event (done/total counters, timing-run count, cost-weighted completion
+// fraction) — what GET /v1/jobs/{id}/events streams.
+func (j *Job) WaitEvent(ctx context.Context, i int) (*sweep.Progress, JobState, string) {
+	rec, state, errMsg := j.WaitCell(ctx, i)
+	if rec == nil {
+		return nil, state, errMsg
+	}
+	pr := &sweep.Progress{
+		Scenario:   j.request.Scenario,
+		Done:       i + 1,
+		Total:      len(j.plan.Cells),
+		TimingRuns: j.plan.TimingRuns(),
+		Cell:       rec,
+	}
+	j.mu.Lock()
+	if i < len(j.fractions) {
+		pr.CostFraction = j.fractions[i]
+	}
+	j.mu.Unlock()
+	return pr, state, ""
+}
+
+// Records snapshots the job's streamed cell records, in plan order.
+func (j *Job) Records() []*sweep.CellRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]*sweep.CellRecord(nil), j.records...)
+}
+
+// ErrNotReady marks a report request against a job that is still queued
+// or running (mapped to 409: retry after the job completes).
+type ErrNotReady struct{ State JobState }
+
+func (e ErrNotReady) Error() string {
+	return fmt.Sprintf("job is %s; the report needs a completed job", e.State)
+}
+
+// ErrGone marks a report request against a terminally failed or canceled
+// job (mapped to 410: no report will ever exist — do not retry).
+type ErrGone struct{ State JobState }
+
+func (e ErrGone) Error() string {
+	return fmt.Sprintf("job %s; no report will exist", e.State)
+}
+
+// ErrNoReduction marks scenarios without a Reduce hook (mapped to 404).
+var ErrNoReduction = errors.New("scenario has no reduction")
+
+// Report reduces the finished job's cell records through the scenario
+// registry's Reduce hook — the server-side counterpart of the CLI's
+// in-process reduce-and-render, over the exact records the job streamed.
+// The result is memoized on the job (reduction is deterministic).
+func (j *Job) Report() (*sweep.Report, error) {
+	j.mu.Lock()
+	if j.state != StateDone {
+		st := j.state
+		j.mu.Unlock()
+		if st.terminal() { // failed or canceled: permanently reportless
+			return nil, ErrGone{State: st}
+		}
+		return nil, ErrNotReady{State: st}
+	}
+	if j.report != nil {
+		rep := j.report
+		j.mu.Unlock()
+		return rep, nil
+	}
+	recs := append([]*sweep.CellRecord(nil), j.records...)
+	req := j.request
+	j.mu.Unlock()
+
+	sc, ok := sweep.Lookup(req.Scenario)
+	if !ok || sc.Reduce == nil {
+		return nil, fmt.Errorf("service: %w: %q", ErrNoReduction, req.Scenario)
+	}
+	rep, err := sc.Reduce(recs, req.Filter)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	j.report = rep
+	j.mu.Unlock()
+	return rep, nil
+}
+
 // ErrBusy is returned (and mapped to 503) when admission control rejects
 // a submission; the service is healthy, just saturated.
 type ErrBusy struct{ Reason string }
@@ -206,6 +325,9 @@ func (e ErrBusy) Error() string { return "service busy: " + e.Reason }
 // Manager owns the job table, the admission policy and the worker pool.
 type Manager struct {
 	opts Options
+
+	// eta calibrates cost-unit wall-clock across all jobs (see eta.go).
+	eta etaModel
 
 	mu            sync.Mutex
 	jobs          map[string]*Job
@@ -310,13 +432,58 @@ func (m *Manager) Submit(req sweep.JobRequest) (*Job, error) {
 	m.lastEvictions = st.Evictions
 	m.nextID++
 	id := fmt.Sprintf("job-%d", m.nextID)
-	j := newJob(id, req, plan, time.Now())
+	j := newJob(id, req, plan, &m.eta, time.Now())
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	m.pending = append(m.pending, j)
 	m.queueCond.Signal()
 	m.mu.Unlock()
+	// Age-based retention advances on submissions too, so an idle daemon
+	// sheds stale terminal jobs on its next contact.
+	m.prune()
 	return j, nil
+}
+
+// prune applies the retention policy: terminal jobs beyond RetainJobs
+// (newest kept) or finished longer than RetainAge ago leave the table.
+// Queued and running jobs always stay. Call with no locks held.
+func (m *Manager) prune() {
+	if m.opts.RetainJobs <= 0 && m.opts.RetainAge <= 0 {
+		return
+	}
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kept := make([]string, 0, len(m.order))
+	terminal := 0
+	for i := len(m.order) - 1; i >= 0; i-- { // newest first
+		id := m.order[i]
+		j := m.jobs[id]
+		j.mu.Lock()
+		isTerminal := j.state.terminal()
+		finished := j.finished
+		j.mu.Unlock()
+		evict := false
+		if isTerminal {
+			terminal++
+			if m.opts.RetainJobs > 0 && terminal > m.opts.RetainJobs {
+				evict = true
+			}
+			if m.opts.RetainAge > 0 && now.Sub(finished) > m.opts.RetainAge {
+				evict = true
+			}
+		}
+		if evict {
+			delete(m.jobs, id)
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	// kept is newest-first; restore creation order.
+	for l, r := 0, len(kept)-1; l < r; l, r = l+1, r-1 {
+		kept[l], kept[r] = kept[r], kept[l]
+	}
+	m.order = kept
 }
 
 // Job returns a job by ID.
@@ -362,6 +529,7 @@ func (m *Manager) Cancel(id string) error {
 }
 
 func (m *Manager) cancelJob(j *Job) {
+	defer m.prune() // a queued job canceled here turns terminal
 	// Remove the job from the pending queue first (freeing its admission
 	// slot on the spot); m.mu strictly before j.mu, matching the worker.
 	m.mu.Lock()
@@ -440,13 +608,21 @@ func (m *Manager) runJob(j *Job) {
 		j.mu.Unlock()
 	}
 
+	// Stream callbacks arrive serialized in plan order, so the wall-clock
+	// between consecutive callbacks is the pipeline's per-cell throughput —
+	// the sample the ETA calibration wants.
+	lastEmit := time.Now()
 	_, err := j.plan.RunContext(ctx, func(cr *sweep.CellResult) {
 		rec := j.plan.Record(cr)
+		now := time.Now()
 		j.mu.Lock()
 		j.records = append(j.records, rec)
 		if j.cost != nil {
 			j.costDone += j.cost.PerCell[rec.Index]
+			m.eta.observe(j.cost.PerCell[rec.Index]*float64(j.cost.EstCycles), now.Sub(lastEmit).Seconds())
 		}
+		j.fractions = append(j.fractions, j.costDone)
+		lastEmit = now
 		j.cond.Broadcast()
 		j.mu.Unlock()
 	})
@@ -466,4 +642,5 @@ func (m *Manager) runJob(j *Job) {
 	}
 	j.cond.Broadcast()
 	j.mu.Unlock()
+	m.prune()
 }

@@ -63,3 +63,45 @@ func TestRemoteEqualsInProcess(t *testing.T) {
 		}
 	}
 }
+
+// The reduction layer's acceptance contract: the report a daemon reduces
+// server-side from a job's records (GET /v1/jobs/{id}/report) equals the
+// in-process reduction of the same request — reflect.DeepEqual after the
+// JSON hop, for the paper's headline figure (fig6), the DVFS curve and
+// the L1×scheduler extension.
+func TestRemoteReportEqualsInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig6 grid in -short mode")
+	}
+	m := NewManager(Options{MaxConcurrent: 2, MaxQueued: 8})
+	defer m.Close()
+	srv := httptest.NewServer(NewServer(m))
+	defer srv.Close()
+	c := &Client{Base: srv.URL, HTTP: srv.Client()}
+	ctx := context.Background()
+
+	for _, scenario := range []string{"fig6", "dvfs", "l1sched"} {
+		req := sweep.JobRequest{Scenario: scenario}
+
+		want, err := sweep.BuildReport(scenario, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		final, err := c.Run(ctx, req, func(*sweep.CellRecord) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != StateDone {
+			t.Fatalf("%s: job ended %s: %s", scenario, final.State, final.Error)
+		}
+		got, err := c.Report(ctx, final.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: remote report diverged from in-process reduction:\n got %+v\nwant %+v",
+				scenario, got, want)
+		}
+	}
+}

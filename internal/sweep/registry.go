@@ -9,15 +9,34 @@ import (
 
 // Scenario is a named, runnable experiment. Sweep scenarios carry their
 // Spec (so front-ends can show axes and validate filters); table-style
-// scenarios that are not grid sweeps register with a nil Spec and only a
-// Print. Print runs the scenario end to end and writes its report.
+// scenarios that are not grid sweeps register with a nil Spec.
 type Scenario struct {
 	Name  string
 	Title string
 	// Spec is the scenario's sweep specification (nil for non-sweeps).
 	Spec func() *Spec
-	// Print runs the scenario, restricted by the filter, and writes the
-	// report. The filter must be empty for non-sweep scenarios.
+	// Reduce folds one completed run's cell records into the scenario's
+	// typed Report (see report.go). Sweep-backed scenarios receive the
+	// run's full record stream — the same records whether the run was
+	// in-process or streamed by a daemon; table-style scenarios compute
+	// from scratch and receive nil. The filter is the run's filter, so a
+	// reducer can reject restrictions that would bias its aggregates.
+	// Composites build their combined report here (the "ablation"
+	// scenario concatenates its five studies' sections).
+	Reduce func(recs []*CellRecord, f Filter) (*Report, error)
+	// CheckFilter validates a filter before any sweep executes, on top of
+	// the planner's axis/value validation: consulted by JobRequest.Plan
+	// (so a daemon rejects the submission synchronously) and BuildReport
+	// (so a local run fails before simulating). Scenarios whose
+	// reductions need specific grid shapes reject here — fig6 restricts
+	// filtering to whole sub-figures, energyperop needs its unfiltered
+	// 31-vs-1 pairing. Nil accepts any planner-valid filter.
+	CheckFilter func(f Filter) error
+	// Print runs the scenario, restricted by the filter, and writes its
+	// text output. Nil derives it from Reduce + RenderText (running the
+	// sweep in-process when the scenario is sweep-backed); set it only
+	// for output a single reduction cannot produce. At least one of
+	// Print and Reduce must be set.
 	Print func(w io.Writer, f Filter) error
 }
 
@@ -28,14 +47,26 @@ var (
 
 // Register adds a scenario to the process-wide registry; duplicate or
 // anonymous registrations are programming errors and panic at init time.
+// A scenario registered without a Print gets the default reduce-and-render
+// pipeline.
 func Register(sc Scenario) {
 	regMu.Lock()
 	defer regMu.Unlock()
-	if sc.Name == "" || sc.Print == nil {
+	if sc.Name == "" || (sc.Print == nil && sc.Reduce == nil) {
 		panic("sweep: registering an incomplete scenario")
 	}
 	if _, dup := registry[sc.Name]; dup {
 		panic(fmt.Sprintf("sweep: duplicate scenario %q", sc.Name))
+	}
+	if sc.Print == nil {
+		name := sc.Name
+		sc.Print = func(w io.Writer, f Filter) error {
+			rep, err := BuildReport(name, f)
+			if err != nil {
+				return err
+			}
+			return RenderText(w, rep)
+		}
 	}
 	registry[sc.Name] = sc
 }
@@ -58,6 +89,41 @@ func Lookup(name string) (Scenario, bool) {
 	defer regMu.Unlock()
 	sc, ok := registry[name]
 	return sc, ok
+}
+
+// BuildReport runs the named scenario in-process and reduces it to its
+// typed report: for sweep-backed scenarios the plan executes (filtered)
+// and its flat cell records feed the Reduce hook — exactly the records a
+// daemon would have streamed, so the report is bit-identical to the one
+// GET /v1/jobs/{id}/report serves for the same request.
+func BuildReport(name string, f Filter) (*Report, error) {
+	sc, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("sweep: %w %q", ErrUnknownScenario, name)
+	}
+	if sc.Reduce == nil {
+		return nil, fmt.Errorf("sweep: scenario %q has no reduction", name)
+	}
+	if sc.CheckFilter != nil {
+		if err := sc.CheckFilter(f); err != nil {
+			return nil, err
+		}
+	}
+	var recs []*CellRecord
+	if sc.Spec != nil {
+		plan, err := sc.Spec().Plan(f)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := plan.Run(nil)
+		if err != nil {
+			return nil, err
+		}
+		recs = plan.Records(rs)
+	} else if len(f) > 0 {
+		return nil, fmt.Errorf("sweep: scenario %q has no axes to filter", name)
+	}
+	return sc.Reduce(recs, f)
 }
 
 // RunScenario resolves and prints one scenario by name — the front door

@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file is the engine's typed reduction layer: the Reduce → Report →
+// Render split. A scenario's Reduce hook folds flat cell records (the wire
+// form a run produces, locally or through a daemon) into a Report — plain,
+// JSON-serializable data: named sections of typed rows under labeled,
+// unit-annotated columns, plus typed summary notes. One generic renderer,
+// RenderText, turns any Report into the scenario's text output; nothing
+// scenario-specific ever touches an io.Writer. The paper's deliverables are
+// aggregates (Fig. 6 error summaries, DVFS curves, ablation deltas), and a
+// Report is exactly one such aggregate: a remote client fetches it as JSON
+// from the service and renders the same bytes the in-process CLI prints.
+//
+// Determinism contract: a Report is a pure function of the run's cell
+// records (plus the deterministic virtual hardware a reducer may consult,
+// e.g. the measured-static estimate Fig. 6 compares against), its field
+// types survive a JSON round trip bit-exactly (float64 via shortest
+// round-trip encoding, uint64 via typed decode), and section/row order is
+// fixed by the reducer — so reflect.DeepEqual on a decoded remote report
+// against the in-process reduction is a bitwise comparison.
+
+// Report is one scenario's reduced outcome: ordered sections of typed rows
+// and notes.
+type Report struct {
+	// Scenario is the registered scenario name the report reduces.
+	Scenario string `json:"scenario"`
+	// Sections render in order.
+	Sections []Section `json:"sections"`
+}
+
+// Section is one table (or note block) of a report.
+type Section struct {
+	// Title prints as its own line before the table (omitted when empty).
+	Title string `json:"title,omitempty"`
+	// Gap prints a blank separator line before the section (sub-figure
+	// breaks).
+	Gap bool `json:"gap,omitempty"`
+	// Indent prefixes the header and every row (not the title or notes).
+	Indent string `json:"indent,omitempty"`
+	// Columns describe and format the table; empty for note-only sections.
+	Columns []Column `json:"columns,omitempty"`
+	// Header prints the column-label row before the data rows.
+	Header bool `json:"header,omitempty"`
+	// Rows hold one Datum per column, in column order.
+	Rows [][]Datum `json:"rows,omitempty"`
+	// Notes are typed summary lines printed after the rows.
+	Notes []Note `json:"notes,omitempty"`
+}
+
+// Column is one labeled, unit-annotated metric column.
+type Column struct {
+	// Label is the column's header text.
+	Label string `json:"label"`
+	// Unit is the column's unit ("W", "cycles", "mJ", "%"); informational
+	// for wire consumers — rendering is governed by the formats alone.
+	Unit string `json:"unit,omitempty"`
+	// Format is the printf fragment rendering one data cell ("%10.2f",
+	// "%-14s", "%7.1f%%"). Fragments may carry literal text; columns are
+	// joined by single spaces.
+	Format string `json:"format"`
+	// Head is the printf fragment rendering the header cell; empty reuses
+	// Format (all-string tables).
+	Head string `json:"head,omitempty"`
+}
+
+// headFormat returns the header cell's format.
+func (c *Column) headFormat() string {
+	if c.Head != "" {
+		return c.Head
+	}
+	return c.Format
+}
+
+// Datum is one typed value: exactly one of S (string), F (float64) or U
+// (uint64) is meaningful. Pointer fields keep zero values representable
+// ("f":0 is a datum; a missing key is a string datum).
+type Datum struct {
+	S string   `json:"s,omitempty"`
+	F *float64 `json:"f,omitempty"`
+	U *uint64  `json:"u,omitempty"`
+}
+
+// value returns the cell's dynamic value for printf rendering.
+func (c *Datum) value() any {
+	switch {
+	case c.F != nil:
+		return *c.F
+	case c.U != nil:
+		return *c.U
+	default:
+		return c.S
+	}
+}
+
+// Str, Num and Uint build typed cells.
+func Str(s string) Datum  { return Datum{S: s} }
+func Num(f float64) Datum { return Datum{F: &f} }
+func Uint(u uint64) Datum { return Datum{U: &u} }
+
+// Note is one typed summary line: a printf template plus typed arguments,
+// so wire consumers see the numbers, not prose with numbers baked in.
+type Note struct {
+	Format string  `json:"format"`
+	Args   []Datum `json:"args,omitempty"`
+}
+
+// Notef builds a note.
+func Notef(format string, args ...Datum) Note { return Note{Format: format, Args: args} }
+
+// RenderText writes the report as text: per section, an optional blank
+// separator, the title line, the indented header row, the indented data
+// rows (cells joined by single spaces, each through its column's printf
+// fragment), then the notes. Every scenario's output renders through this
+// one function; the golden tests in internal/experiments pin the result
+// byte-identical to the pre-split printers.
+func RenderText(w io.Writer, r *Report) error {
+	for si := range r.Sections {
+		s := &r.Sections[si]
+		if s.Gap {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if s.Title != "" {
+			if _, err := fmt.Fprintln(w, s.Title); err != nil {
+				return err
+			}
+		}
+		if s.Header && len(s.Columns) > 0 {
+			hdr := make([]Datum, len(s.Columns))
+			for i := range s.Columns {
+				hdr[i] = Str(s.Columns[i].Label)
+			}
+			if err := renderRow(w, s, hdr, true); err != nil {
+				return err
+			}
+		}
+		for _, row := range s.Rows {
+			if err := renderRow(w, s, row, false); err != nil {
+				return err
+			}
+		}
+		for _, n := range s.Notes {
+			args := make([]any, len(n.Args))
+			for i := range n.Args {
+				args[i] = n.Args[i].value()
+			}
+			if _, err := fmt.Fprintf(w, n.Format+"\n", args...); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderRow prints one indented row of a section, header or data.
+func renderRow(w io.Writer, s *Section, row []Datum, head bool) error {
+	if len(row) != len(s.Columns) {
+		return fmt.Errorf("sweep: section %q row has %d cell(s), want %d", s.Title, len(row), len(s.Columns))
+	}
+	if _, err := io.WriteString(w, s.Indent); err != nil {
+		return err
+	}
+	for i := range row {
+		format := s.Columns[i].Format
+		if head {
+			format = s.Columns[i].headFormat()
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, " "); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, format, row[i].value()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

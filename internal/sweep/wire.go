@@ -61,6 +61,15 @@ func (r *JobRequest) Plan() (*Plan, error) {
 	if sc.Spec == nil {
 		return nil, fmt.Errorf("sweep: scenario %q is not a sweep (no cells to stream)", r.Scenario)
 	}
+	if sc.CheckFilter != nil {
+		// Scenario-specific filter constraints fail the submission here,
+		// synchronously — not after the sweep has simulated (the reducers
+		// re-validate as defense in depth, but a filter the reduction will
+		// reject must never be admitted as a job).
+		if err := sc.CheckFilter(r.Filter); err != nil {
+			return nil, err
+		}
+	}
 	return sc.Spec().Plan(r.Filter)
 }
 
@@ -210,11 +219,17 @@ type TimingRecord struct {
 	Seconds      float64 `json:"seconds"`
 	WarpInstrs   uint64  `json:"warpInstrs"`
 	ThreadInstrs uint64  `json:"threadInstrs"`
-	IPC          float64 `json:"ipc"`
-	L1HitRate    float64 `json:"l1HitRate"`
-	L2HitRate    float64 `json:"l2HitRate"`
-	ConstHitRate float64 `json:"constHitRate"`
-	OccupancyPct float64 `json:"occupancyPct"`
+	// IntThreadInstrs/FPThreadInstrs/SFUThreadInstrs split ThreadInstrs by
+	// execution-unit class — what the lane-differencing reduction divides
+	// measured energy deltas by.
+	IntThreadInstrs uint64  `json:"intThreadInstrs,omitempty"`
+	FPThreadInstrs  uint64  `json:"fpThreadInstrs,omitempty"`
+	SFUThreadInstrs uint64  `json:"sfuThreadInstrs,omitempty"`
+	IPC             float64 `json:"ipc"`
+	L1HitRate       float64 `json:"l1HitRate"`
+	L2HitRate       float64 `json:"l2HitRate"`
+	ConstHitRate    float64 `json:"constHitRate"`
+	OccupancyPct    float64 `json:"occupancyPct"`
 	// TimingKey is the hex content address the timing run is cached under
 	// (empty when the simulation cache is disabled). Equal keys are the
 	// engine's guarantee of bit-identical timing results — the cache
@@ -282,15 +297,18 @@ func (p *Plan) Record(cr *CellResult) *CellRecord {
 		if u.Timing != nil {
 			perf := u.Timing.Perf
 			tr := &TimingRecord{
-				Cycles:       perf.Activity.Cycles,
-				Seconds:      perf.Seconds,
-				WarpInstrs:   perf.WarpInstrs,
-				ThreadInstrs: perf.ThreadInstrs,
-				IPC:          perf.IPC,
-				L1HitRate:    perf.L1HitRate,
-				L2HitRate:    perf.L2HitRate,
-				ConstHitRate: perf.ConstHitRate,
-				OccupancyPct: perf.OccupancyPct,
+				Cycles:          perf.Activity.Cycles,
+				Seconds:         perf.Seconds,
+				WarpInstrs:      perf.WarpInstrs,
+				ThreadInstrs:    perf.ThreadInstrs,
+				IntThreadInstrs: perf.Activity.IntThreadInstrs,
+				FPThreadInstrs:  perf.Activity.FPThreadInstrs,
+				SFUThreadInstrs: perf.Activity.SFUThreadInstrs,
+				IPC:             perf.IPC,
+				L1HitRate:       perf.L1HitRate,
+				L2HitRate:       perf.L2HitRate,
+				ConstHitRate:    perf.ConstHitRate,
+				OccupancyPct:    perf.OccupancyPct,
 			}
 			if u.Timing.Key != (simcache.Key{}) {
 				tr.TimingKey = hex.EncodeToString(u.Timing.Key[:])

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Service smoke test for `make ci`: build the daemon and the experiment
 # CLI, start gpowd on a loopback port, run the cheapest sweep scenario
-# both in-process and through the daemon, and diff the streamed NDJSON
-# cell records byte for byte. The two paths share one wire layer
-# (internal/sweep CellRecord) and one determinism contract, so any
-# difference is a bug.
+# both in-process and through the daemon, and diff (1) the streamed
+# NDJSON cell records and (2) the reduced report JSON (in-process
+# sweep.BuildReport vs the daemon's GET /v1/jobs/{id}/report) byte for
+# byte. The two paths share one wire layer (internal/sweep CellRecord /
+# Report) and one determinism contract, so any difference is a bug.
 set -eu
 
 scenario=${1:-ablation-processnode}
@@ -48,4 +49,20 @@ if ! diff "$tmp/local.ndjson" "$tmp/remote.ndjson"; then
     echo "service smoke: FAIL — remote records diverge from in-process run" >&2
     exit 1
 fi
-echo "service smoke: OK — $scenario: $(wc -l <"$tmp/local.ndjson") cell record(s) identical in-process and via $addr"
+
+"$tmp/gpowexp" run "$scenario" -report-json >"$tmp/local-report.json"
+"$tmp/gpowexp" -remote "$addr" run "$scenario" -report-json >"$tmp/remote-report.json"
+
+if ! diff "$tmp/local-report.json" "$tmp/remote-report.json"; then
+    echo "service smoke: FAIL — server-side reduced report diverges from in-process reduction" >&2
+    exit 1
+fi
+
+"$tmp/gpowexp" run "$scenario" -report >"$tmp/local-report.txt"
+"$tmp/gpowexp" -remote "$addr" run "$scenario" -report >"$tmp/remote-report.txt"
+
+if ! diff "$tmp/local-report.txt" "$tmp/remote-report.txt"; then
+    echo "service smoke: FAIL — rendered remote report diverges from in-process rendering" >&2
+    exit 1
+fi
+echo "service smoke: OK — $scenario: $(wc -l <"$tmp/local.ndjson") cell record(s) + reduced report identical in-process and via $addr"
