@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench baseline bench-compare ci-bench ci-service fmt-check golden-update
+.PHONY: ci vet build test race bench baseline bench-compare ci-bench ci-service ci-restart fmt-check golden-update
 
-ci: fmt-check vet build race ci-bench ci-service
+ci: fmt-check vet build race ci-bench ci-service ci-restart
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,14 @@ fmt-check:
 # (see scripts/service_smoke.sh).
 ci-service:
 	./scripts/service_smoke.sh
+
+# Crash/restart drill: kill gpowd mid-job via the
+# crash-after-journal-append faultpoint, restart it on the same state
+# dir, and diff the self-healing client's resumed output and the
+# recovered job's report byte for byte against an uninterrupted run
+# (see scripts/service_restart.sh).
+ci-restart:
+	./scripts/service_restart.sh
 
 # The scenario golden files (internal/experiments/testdata/*.golden) pin
 # every scenario's rendered report byte-identical to the pre-split

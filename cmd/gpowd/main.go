@@ -7,6 +7,7 @@
 //
 //	gpowd [-addr 127.0.0.1:8080] [-jobs 2] [-queue 16]
 //	      [-retain N] [-retain-age DUR]
+//	      [-state-dir DIR] [-drain-timeout DUR]
 //	      [-cache-budget-mb N] [-cache-dir DIR]
 //
 // The cache flags mirror the GPUSIMPOW_SIM_CACHE_BUDGET_MB and
@@ -15,11 +16,22 @@
 // spills timing results to disk so daemon restarts replay instead of
 // re-simulating.
 //
+// -state-dir makes jobs durable: submissions, state transitions, cell
+// records, reports and the ETA calibration are journaled there, and a
+// restarted daemon recovers them — completed jobs come back intact,
+// queued jobs re-enqueue in submit order, and jobs the previous process
+// was executing when it died re-execute bit-identically (see
+// docs/SERVICE.md, "Durability and recovery"). On SIGTERM/SIGINT the
+// daemon drains: it stops admitting (503), gives running jobs
+// -drain-timeout to finish, then checkpoints the stragglers as
+// interrupted for the next process.
+//
 // The retention flags bound the job table: completed (done/failed/
 // canceled) jobs keep their cell records for /cells replays and /report,
 // so -retain N evicts the oldest completed jobs beyond N and -retain-age
 // prunes completed jobs older than the duration. Queued and running jobs
-// are never pruned; 0 (the default) keeps everything.
+// are never pruned; 0 (the default) keeps everything. With -state-dir the
+// same bounds govern the on-disk store.
 //
 // Drive it with gpowexp:
 //
@@ -47,9 +59,11 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	jobs := flag.Int("jobs", 2, "jobs executing concurrently (each fans out internally)")
-	queue := flag.Int("queue", 16, "queued-job bound; submissions beyond it are rejected 503")
+	queue := flag.Int("queue", 16, "queued-job bound; submissions beyond it are rejected 429")
 	retain := flag.Int("retain", 0, "keep at most N completed jobs, oldest evicted first (0 = keep all)")
 	retainAge := flag.Duration("retain-age", 0, "prune completed jobs finished longer ago than this (0 = keep all)")
+	stateDir := flag.String("state-dir", "", "journal job state here and recover it on restart")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM, how long running jobs may finish before being checkpointed as interrupted")
 	budgetMB := flag.Int64("cache-budget-mb", 0, "simulation-cache byte budget in MiB (0 = unbounded)")
 	cacheDir := flag.String("cache-dir", "", "spill simulation results to this directory")
 	flag.Parse()
@@ -59,14 +73,15 @@ func main() {
 		MaxQueued:     *queue,
 		RetainJobs:    *retain,
 		RetainAge:     *retainAge,
+		StateDir:      *stateDir,
 	}
-	if err := run(*addr, opts, *budgetMB, *cacheDir); err != nil {
+	if err := run(*addr, opts, *drainTimeout, *budgetMB, *cacheDir); err != nil {
 		fmt.Fprintln(os.Stderr, "gpowd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, opts service.Options, budgetMB int64, cacheDir string) error {
+func run(addr string, opts service.Options, drainTimeout time.Duration, budgetMB int64, cacheDir string) error {
 	if budgetMB > 0 {
 		simcache.Default().SetByteBudget(budgetMB << 20)
 	}
@@ -76,8 +91,16 @@ func run(addr string, opts service.Options, budgetMB int64, cacheDir string) err
 		}
 	}
 
-	m := service.NewManager(opts)
+	m, err := service.OpenManager(opts)
+	if err != nil {
+		return err
+	}
 	defer m.Close()
+	if opts.StateDir != "" {
+		if n := len(m.Jobs()); n > 0 {
+			log.Printf("gpowd: recovered %d job(s) from %s", n, opts.StateDir)
+		}
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -93,10 +116,18 @@ func run(addr string, opts service.Options, budgetMB int64, cacheDir string) err
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("gpowd: %v, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		log.Printf("gpowd: %v, draining (up to %v)", sig, drainTimeout)
+		// Drain order: the manager first (stop admitting, finish or
+		// checkpoint running jobs, persist everything), then the HTTP
+		// server — in-flight streams keep serving while jobs wind down,
+		// and /v1/healthz reports "draining" throughout.
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
-		_ = srv.Shutdown(ctx)
+		m.Shutdown(ctx)
+		sctx, scancel := context.WithTimeout(context.Background(), time.Second)
+		defer scancel()
+		_ = srv.Shutdown(sctx)
+		log.Printf("gpowd: drained")
 		return nil
 	case err := <-errc:
 		return err

@@ -9,13 +9,20 @@
 //	gpowexp [-remote URL] list                    # registered scenarios
 //	gpowexp [-remote URL] run <name>... [-filter axis=v[,v]] [-stats] [-v]
 //	                                    [-json] [-report] [-report-json]
+//	gpowexp -remote URL report <job-id>... [-json]
 //	gpowexp all [-stats]                          # every paper artifact
 //	gpowexp <name>...                             # shorthand for run
 //
 // With -remote, list and run drive a gpowd daemon over the service API
 // instead of linking the simulator in-process: run submits each scenario
 // as a job and consumes the daemon's NDJSON streams (the events stream
-// with -v — live progress percentages — the cells stream otherwise).
+// with -v — live progress percentages — the cells stream otherwise). The
+// client is self-healing: it retries on connection errors and saturation
+// (429/5xx, honoring Retry-After), submits idempotently, and resumes
+// severed streams where they left off — a daemon restart mid-run costs
+// wall-clock, not correctness. report fetches an existing daemon job's
+// server-side reduction by job ID (e.g. one recovered from a previous
+// daemon process), without resubmitting anything.
 //
 // Output modes:
 //
@@ -80,6 +87,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: gpowexp [-remote URL] list
        gpowexp [-remote URL] run <scenario>... [-filter axis=value[,value]]... [-stats] [-v]
                                                [-json] [-report] [-report-json]
+       gpowexp -remote URL report <job-id>... [-json]
        gpowexp all [-stats]
        gpowexp <scenario>...`)
 }
@@ -105,6 +113,11 @@ func dispatch(remote string, args ...string) error {
 		return list(os.Stdout)
 	case "run":
 		return runCmd(remote, args[1:])
+	case "report":
+		if remote == "" {
+			return fmt.Errorf("`report` fetches an existing daemon job's reduction; it needs -remote URL")
+		}
+		return reportCmd(remote, args[1:])
 	case "all":
 		if remote != "" {
 			return fmt.Errorf("`all` mixes table-style artifacts that only exist in-process; name sweep scenarios explicitly with -remote")
@@ -274,6 +287,55 @@ func runCmd(remote string, args []string) error {
 	return nil
 }
 
+// reportCmd fetches existing daemon jobs' server-side reductions by job
+// ID — how results survive their submitting client: a job recovered from
+// a previous daemon process (or left over from another client's run) is
+// reduced and fetched without resubmitting anything.
+func reportCmd(remote string, args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit each report as one JSON line instead of rendered text")
+	// Accept flags before, between and after job IDs, like runCmd.
+	var ids []string
+	rest := args
+	for {
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		rest = fs.Args()
+		if len(rest) == 0 {
+			break
+		}
+		ids = append(ids, rest[0])
+		rest = rest[1:]
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("no job ID named (see `gpowexp -remote URL run`'s job output)")
+	}
+	c := &service.Client{Base: remote}
+	ctx := context.Background()
+	enc := json.NewEncoder(os.Stdout)
+	for i, id := range ids {
+		rep, err := c.Report(ctx, id)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			if err := enc.Encode(rep); err != nil {
+				return err
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := sweep.RenderText(os.Stdout, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // progressLine prints one cell-completion event to w, with the
 // cost-weighted percentage when the planner could estimate it — the same
 // line whether the event came from the in-process hook or a daemon's
@@ -333,6 +395,13 @@ func runLocalJSON(w io.Writer, name string, f sweep.Filter) error {
 // of by status polling.
 func runRemote(remote string, names []string, f sweep.Filter, mode outputMode, verbose bool) error {
 	c := &service.Client{Base: remote}
+	if verbose {
+		// Narrate the client's self-healing (retries, stream resumptions)
+		// alongside the progress lines.
+		c.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "gpowexp: "+format+"\n", args...)
+		}
+	}
 	ctx := context.Background()
 	enc := json.NewEncoder(os.Stdout)
 	for i, name := range names {

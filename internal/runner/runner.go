@@ -15,15 +15,36 @@ package runner
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
 
+// PanicError is what a job function's panic becomes: the pool recovers it
+// on the worker goroutine (where it would otherwise kill the whole
+// process — no caller can recover a panic on another goroutine) and
+// reports it through the normal error path, stack attached. Long-lived
+// callers (the sweep service's job workers) thus survive a panicking
+// workload builder or scenario hook: the job fails, the process stays up.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job panicked: %v\n%s", e.Value, e.Stack)
+}
+
 // Map runs fn(0) … fn(n-1) on a worker pool sized min(n, GOMAXPROCS) and
 // returns the results in index order. Every job runs to completion even if
 // another job fails; if any jobs failed, the error of the lowest-index
-// failure is returned alongside the full result slice.
+// failure is returned alongside the full result slice. A panicking job is
+// contained to that job: it yields a *PanicError instead of unwinding the
+// pool.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	return MapN(0, n, fn)
 }
@@ -43,12 +64,22 @@ func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 
 	results := make([]T, n)
 	errs := make([]error, n)
+	// Panic containment applies on the inline path too, so a job's failure
+	// mode does not depend on GOMAXPROCS.
+	call := func(i int) (out T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return fn(i)
+	}
 
 	if workers == 1 {
 		// Degenerate pool: run inline, sparing the goroutine machinery (and
 		// keeping single-CPU traces identical to the serial code).
 		for i := 0; i < n; i++ {
-			results[i], errs[i] = fn(i)
+			results[i], errs[i] = call(i)
 		}
 		return results, firstError(errs)
 	}
@@ -64,7 +95,7 @@ func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
-				results[i], errs[i] = fn(i)
+				results[i], errs[i] = call(i)
 			}
 		}()
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -197,5 +198,39 @@ func TestFlightSurvivesPanic(t *testing.T) {
 	v, err, shared := f.Do(1, func() (int, error) { return 3, nil })
 	if v != 3 || err != nil || shared {
 		t.Fatalf("post-panic call: v=%d err=%v shared=%v (key leaked?)", v, err, shared)
+	}
+}
+
+func TestMapNPanicContainment(t *testing.T) {
+	// Both pool shapes must contain a panicking job identically: the
+	// inline workers==1 path and the goroutine pool. A process-killing
+	// panic here would fail the whole test binary, so merely returning
+	// is already half the assertion.
+	for _, workers := range []int{1, 4} {
+		got, err := MapN(workers, 8, func(i int) (int, error) {
+			if i == 3 {
+				panic(fmt.Sprintf("job %d exploded", i))
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "job 3 exploded" {
+			t.Errorf("workers=%d: panic value %v", workers, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "goroutine") {
+			t.Errorf("workers=%d: stack missing: %q", workers, pe.Stack)
+		}
+		if !strings.Contains(pe.Error(), "job 3 exploded") {
+			t.Errorf("workers=%d: Error() lost the value: %q", workers, pe.Error())
+		}
+		// The other jobs still ran to completion.
+		for i, v := range got {
+			if i != 3 && v != i {
+				t.Errorf("workers=%d: job %d result %d despite unrelated panic", workers, i, v)
+			}
+		}
 	}
 }

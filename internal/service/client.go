@@ -3,11 +3,17 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"gpusimpow/internal/sweep"
 )
@@ -15,11 +21,31 @@ import (
 // Client is the Go consumer of the service API — what cmd/gpowexp's
 // -remote mode (and the smoke tests) drive. The zero HTTP client is
 // replaced by http.DefaultClient.
+//
+// The client is self-healing: transport errors, 429 (saturated) and 5xx
+// responses retry with capped exponential backoff plus jitter, honoring
+// any Retry-After the server sends. Submissions carry a generated
+// Idempotency-Key, so a retried submit whose first response was lost
+// resolves to the already-created job instead of a duplicate. The NDJSON
+// streams resume across severed connections and daemon restarts via the
+// server's ?from=N offset, delivering every line exactly once in order —
+// a consumer piping records to a file survives a mid-sweep daemon crash
+// with byte-identical output.
 type Client struct {
 	// Base is the daemon's base URL ("http://127.0.0.1:8080").
 	Base string
 	// HTTP overrides the transport (httptest servers inject theirs).
 	HTTP *http.Client
+	// RetryAttempts bounds retries per request (and consecutive
+	// no-progress reconnects per stream). 0 selects 8; negative disables
+	// retrying entirely.
+	RetryAttempts int
+	// RetryBase is the first backoff delay (0 selects 100ms); successive
+	// delays double, jittered, capped at RetryMax (0 selects 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Logf, when set, narrates retries and resumptions (gpowexp -v).
+	Logf func(format string, args ...any)
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -31,6 +57,117 @@ func (c *Client) httpClient() *http.Client {
 
 func (c *Client) url(path string) string {
 	return strings.TrimRight(c.Base, "/") + path
+}
+
+func (c *Client) attempts() int {
+	if c.RetryAttempts < 0 {
+		return 0
+	}
+	if c.RetryAttempts == 0 {
+		return 8
+	}
+	return c.RetryAttempts
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// backoff computes the delay before retry number attempt (0-based):
+// RetryBase doubled per attempt, capped at RetryMax, jittered to 50–100%
+// so a fleet of clients re-finding a restarted daemon does not stampede.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.RetryBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxD := c.RetryMax
+	if maxD <= 0 {
+		maxD = 5 * time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > maxD {
+		d = maxD
+	}
+	return d/2 + time.Duration(mrand.Int64N(int64(d/2)+1))
+}
+
+// sleep waits d or until the context dies.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryAfter extracts a 429/503 response's Retry-After delay (0 when
+// absent or unparseable; only the delta-seconds form is supported).
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+		return time.Duration(sec) * time.Second
+	}
+	return 0
+}
+
+// retryableStatus marks responses worth retrying: saturation (429),
+// server faults and drains (5xx). Everything 4xx-but-429 is the caller's
+// bug and retrying cannot fix it.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// do issues one request with the retry policy: transport errors and
+// retryable statuses back off and reissue (the body is rebuilt from
+// bytes each attempt), everything else returns as-is. idemKey, when
+// non-empty, is sent as the Idempotency-Key header on every attempt —
+// which is exactly what makes reissuing a POST safe.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, idemKey string) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if idemKey != "" {
+			req.Header.Set("Idempotency-Key", idemKey)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err == nil && !retryableStatus(resp.StatusCode) {
+			return resp, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = decodeError(resp) // also closes the body
+		}
+		if attempt >= c.attempts() || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		d := c.backoff(attempt)
+		if ra := retryAfter(resp); ra > 0 {
+			d = ra
+		}
+		c.logf("service: %s %s: %v; retrying in %v", method, path, lastErr, d)
+		if err := sleep(ctx, d); err != nil {
+			return nil, lastErr
+		}
+	}
 }
 
 // decodeError surfaces the service's {"error": ...} envelope.
@@ -47,11 +184,7 @@ func decodeError(resp *http.Response) error {
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.do(ctx, http.MethodGet, path, nil, "")
 	if err != nil {
 		return err
 	}
@@ -71,22 +204,52 @@ func (c *Client) Scenarios(ctx context.Context) ([]*sweep.ScenarioInfo, error) {
 	return out, nil
 }
 
-// Submit submits one job request and returns its initial status.
+// Health probes GET /v1/healthz: ok while the daemon serves, false (with
+// the reported state) while it drains. Not retried — health is a point
+// probe, and a dead daemon should report as one immediately.
+func (c *Client) Health(ctx context.Context) (state string, ok bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/healthz"), nil)
+	if err != nil {
+		return "", false, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", false, err
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return "", false, err
+	}
+	return env.Status, resp.StatusCode == http.StatusOK, nil
+}
+
+// newIdempotencyKey generates one client-chosen submission identity.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "" // no entropy, no idempotency — submits still work
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit submits one job request and returns its initial status. The
+// request carries a generated Idempotency-Key, so the retry loop can
+// safely reissue it: if the daemon processed a previous attempt whose
+// response was lost, the retry returns that same job (HTTP 200) instead
+// of creating a duplicate (202).
 func (c *Client) Submit(ctx context.Context, jr sweep.JobRequest) (*JobStatus, error) {
 	body, err := json.Marshal(jr)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(body))
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", body, newIdempotencyKey())
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusAccepted {
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
 		return nil, decodeError(resp)
 	}
 	defer resp.Body.Close()
@@ -117,11 +280,7 @@ func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
 
 // Cancel cancels a job.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, "")
 	if err != nil {
 		return err
 	}
@@ -132,92 +291,135 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 	return nil
 }
 
-// StreamCells follows a job's NDJSON cell stream, invoking fn for every
-// record in plan order. It returns when the stream ends (job done), fn
-// errors, or the stream carries a terminal error line.
-func (c *Client) StreamCells(ctx context.Context, id string, fn func(*sweep.CellRecord) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/cells"), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
-	}
-	dec := json.NewDecoder(resp.Body)
+// permanentError marks a stream failure resumption cannot fix: the job
+// itself failed, the consumer's callback errored, or the server rejected
+// the request outright.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// streamNDJSON follows one of a job's NDJSON endpoints, delivering each
+// line exactly once in order across reconnects: a severed connection (or
+// restarted daemon) backs off and reconnects with ?from=<delivered>, and
+// a clean EOF is confirmed against the job's status — a drained daemon
+// ends streams early on a job that will still complete after recovery.
+func (c *Client) streamNDJSON(ctx context.Context, id, endpoint string, line func(json.RawMessage) error) error {
+	delivered := 0
+	failures := 0
 	for {
-		// Each line is either a CellRecord or the terminal error
-		// envelope; records never carry an "error" key.
-		var line struct {
-			sweep.CellRecord
-			Error string `json:"error"`
+		before := delivered
+		err := c.streamOnce(ctx, id, endpoint, &delivered, line)
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
 		}
-		if err := dec.Decode(&line); err != nil {
-			if err == io.EOF {
-				return nil
+		if err == nil {
+			// Clean EOF: complete, or cut short by a drain?
+			st, jerr := c.Job(ctx, id)
+			if jerr != nil {
+				return jerr
 			}
-			return fmt.Errorf("service: decoding cell stream: %w", err)
+			switch {
+			case st.State == StateDone && delivered >= st.Cells:
+				return nil
+			case st.State == StateFailed || st.State == StateCanceled:
+				if st.Error != "" {
+					return fmt.Errorf("service: job %s: %s", id, st.Error)
+				}
+				return fmt.Errorf("service: job %s %s", id, st.State)
+			}
+			err = fmt.Errorf("service: job %s: stream ended at line %d with job %s", id, delivered, st.State)
 		}
-		if line.Error != "" {
-			return fmt.Errorf("service: job %s: %s", id, line.Error)
+		if ctx.Err() != nil {
+			return err
 		}
-		rec := line.CellRecord
-		if err := fn(&rec); err != nil {
+		if delivered > before {
+			failures = 0 // progress resets the patience budget
+		} else {
+			failures++
+		}
+		if failures > c.attempts() {
+			return err
+		}
+		d := c.backoff(failures - 1)
+		c.logf("service: job %s %s stream: %v; resuming from line %d in %v", id, endpoint, err, delivered, d)
+		if serr := sleep(ctx, d); serr != nil {
 			return err
 		}
 	}
 }
 
-// StreamEvents follows a job's NDJSON progress-event stream, invoking fn
-// for every sweep.Progress event in plan order (each embeds the completed
-// cell's record plus done/total counters and the cost-weighted completion
-// fraction). It returns when the stream ends, fn errors, or the stream
-// carries a terminal error line.
-func (c *Client) StreamEvents(ctx context.Context, id string, fn func(*sweep.Progress) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.httpClient().Do(req)
+// streamOnce runs one connection of a resumable stream, bumping
+// *delivered per line handed to fn. A nil return is this connection's
+// clean EOF (not necessarily the stream's end); non-permanent errors
+// mean "sever — reconnect and resume".
+func (c *Client) streamOnce(ctx context.Context, id, endpoint string, delivered *int, fn func(json.RawMessage) error) error {
+	resp, err := c.do(ctx, http.MethodGet,
+		fmt.Sprintf("/v1/jobs/%s/%s?from=%d", id, endpoint, *delivered), nil, "")
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
+		return &permanentError{decodeError(resp)}
 	}
 	dec := json.NewDecoder(resp.Body)
 	for {
-		// Each line is either a Progress event or the terminal error
-		// envelope; events never carry an "error" key.
-		var line struct {
-			sweep.Progress
-			Error string `json:"error"`
-		}
-		if err := dec.Decode(&line); err != nil {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
 			if err == io.EOF {
 				return nil
 			}
-			return fmt.Errorf("service: decoding event stream: %w", err)
+			return fmt.Errorf("service: decoding %s stream: %w", endpoint, err)
 		}
-		if line.Error != "" {
-			return fmt.Errorf("service: job %s: %s", id, line.Error)
+		// Each line is either a payload or the terminal error envelope;
+		// payloads never carry an "error" key.
+		var env struct {
+			Error string `json:"error"`
 		}
-		if line.Progress.Cell == nil {
+		if json.Unmarshal(raw, &env) == nil && env.Error != "" {
+			return &permanentError{fmt.Errorf("service: job %s: %s", id, env.Error)}
+		}
+		if err := fn(raw); err != nil {
+			return &permanentError{err}
+		}
+		*delivered++
+	}
+}
+
+// StreamCells follows a job's NDJSON cell stream, invoking fn for every
+// record in plan order, resuming across severed connections and daemon
+// restarts. It returns when the job's stream is complete, fn errors, or
+// the job terminates without finishing.
+func (c *Client) StreamCells(ctx context.Context, id string, fn func(*sweep.CellRecord) error) error {
+	return c.streamNDJSON(ctx, id, "cells", func(raw json.RawMessage) error {
+		var rec sweep.CellRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("service: decoding cell record: %w", err)
+		}
+		return fn(&rec)
+	})
+}
+
+// StreamEvents follows a job's NDJSON progress-event stream, invoking fn
+// for every sweep.Progress event in plan order (each embeds the completed
+// cell's record plus done/total counters and the cost-weighted completion
+// fraction), with the same resumption semantics as StreamCells.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(*sweep.Progress) error) error {
+	return c.streamNDJSON(ctx, id, "events", func(raw json.RawMessage) error {
+		var pr sweep.Progress
+		if err := json.Unmarshal(raw, &pr); err != nil {
+			return fmt.Errorf("service: decoding progress event: %w", err)
+		}
+		if pr.Cell == nil {
 			// Every real event embeds its cell record; a line without one
 			// (version skew, stray keepalive) is a protocol error, not
 			// something to hand consumers who will dereference the cell.
 			return fmt.Errorf("service: job %s: malformed progress event (no cell record)", id)
 		}
-		pr := line.Progress
-		if err := fn(&pr); err != nil {
-			return err
-		}
-	}
+		return fn(&pr)
+	})
 }
 
 // Report fetches the finished job's reduced report — the server-side

@@ -56,3 +56,23 @@ func (e *etaModel) observations() uint64 {
 	defer e.mu.Unlock()
 	return e.samples
 }
+
+// export snapshots the calibration for the durable job store; restore is
+// its inverse, seeding a freshly recovered daemon with the previous
+// process's calibration so its first ETA (and first calibrated job
+// timeout) is grounded instead of cold.
+func (e *etaModel) export() (secPerUnit float64, samples uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.secPerUnit, e.samples
+}
+
+func (e *etaModel) restore(secPerUnit float64, samples uint64) {
+	if samples == 0 || secPerUnit <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.secPerUnit = secPerUnit
+	e.samples = samples
+}

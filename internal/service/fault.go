@@ -1,0 +1,62 @@
+package service
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Fault injection for crash-restart and resilience tests. The
+// GPUSIMPOW_FAULTPOINT environment variable names one faultpoint as
+// "<name>" or "<name>:<skip>": the named point fires exactly once, on its
+// (skip+1)-th hit. A firing point does whatever failure it models — the
+// journal crash point kills the process like a SIGKILL would (os.Exit
+// runs no deferred cleanup), the stream point severs the client's
+// connection mid-NDJSON-line, the reduce point panics inside the
+// scenario's reducer. Production daemons never set the variable, so every
+// faultpoint is a single branch on a cached string.
+const (
+	// FaultCrashAfterJournalAppend kills the process immediately after a
+	// journal entry has been written — the tightest crash window recovery
+	// must handle (state admitted to disk, nothing else cleaned up).
+	FaultCrashAfterJournalAppend = "crash-after-journal-append"
+	// FaultDropConnectionMidStream severs a /cells or /events response
+	// after a line has been flushed, exercising client stream resumption.
+	FaultDropConnectionMidStream = "drop-connection-mid-stream"
+	// FaultPanicInReduce panics inside the scenario's Reduce hook,
+	// exercising the report path's panic isolation.
+	FaultPanicInReduce = "panic-in-reduce"
+)
+
+var (
+	faultMu   sync.Mutex
+	faultHits = map[string]int{}
+)
+
+// faultpoint reports whether the named point fires at this hit. Hits are
+// counted per name, so "name:3" arms the 4th hit; each point fires at
+// most once per process.
+func faultpoint(name string) bool {
+	spec := os.Getenv("GPUSIMPOW_FAULTPOINT")
+	if spec == "" {
+		return false
+	}
+	armed, skipStr, _ := strings.Cut(spec, ":")
+	if armed != name {
+		return false
+	}
+	skip := 0
+	if skipStr != "" {
+		n, err := strconv.Atoi(skipStr)
+		if err != nil || n < 0 {
+			return false
+		}
+		skip = n
+	}
+	faultMu.Lock()
+	faultHits[name]++
+	hit := faultHits[name]
+	faultMu.Unlock()
+	return hit == skip+1
+}

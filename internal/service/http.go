@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"gpusimpow/internal/sweep"
@@ -12,6 +13,7 @@ import (
 
 // NewServer wraps a Manager in the service's HTTP API:
 //
+//	GET    /v1/healthz          liveness: 200 while serving, 503 draining
 //	GET    /v1/scenarios        scenario metadata (sweep.ScenarioInfo list)
 //	POST   /v1/jobs             submit a sweep.JobRequest -> 202 + JobStatus
 //	GET    /v1/jobs             every job's status, creation order
@@ -21,12 +23,20 @@ import (
 //	GET    /v1/jobs/{id}/events NDJSON stream of Progress events in plan order
 //	GET    /v1/jobs/{id}/report the scenario's reduced sweep.Report (JSON)
 //
+// Submissions may carry an Idempotency-Key header: retrying the same key
+// returns the already-created job (200 instead of 202) rather than a
+// duplicate, which is what makes client-side retries of lost responses
+// safe. Admission rejections are 429 with a Retry-After; a draining
+// daemon answers 503 with a Retry-After.
+//
 // The cells and events streams follow a running job live: each line is one
 // sweep.CellRecord (resp. sweep.Progress, which embeds the completed
 // cell's record plus done/total counters and the cost-weighted completion
-// fraction), flushed as the cell completes, always in plan order. If the
-// job fails or is canceled mid-stream, a final {"error": "..."} line
-// terminates the stream.
+// fraction), flushed as the cell completes, always in plan order. A
+// ?from=N query skips the first N lines — the resumption handle a client
+// that lost its connection after N lines replays from, exact because
+// records are placed by plan index. If the job fails or is canceled
+// mid-stream, a final {"error": "..."} line terminates the stream.
 //
 // The report endpoint reduces the finished job's records server-side
 // through the scenario registry's Reduce hook: 409 while the job is still
@@ -35,6 +45,7 @@ import (
 func NewServer(m *Manager) http.Handler {
 	s := &server{m: m}
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.healthz)
 	mux.HandleFunc("GET /v1/scenarios", s.scenarios)
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.listJobs)
@@ -65,12 +76,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError writes the service's error envelope.
+// writeError writes the service's error envelope. Backpressure codes
+// (429 saturated, 503 draining) carry a Retry-After the client honors.
 func writeError(w http.ResponseWriter, code int, err error) {
-	if code == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "5")
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	state, ok := s.m.Health()
+	code := http.StatusOK
+	if !ok {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": state})
 }
 
 func (s *server) scenarios(w http.ResponseWriter, r *http.Request) {
@@ -90,17 +111,25 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job request: %w", err))
 		return
 	}
-	j, err := s.m.Submit(req)
+	j, replayed, err := s.m.SubmitIdempotent(req, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		code := http.StatusBadRequest
 		var busy ErrBusy
 		switch {
 		case errors.As(err, &busy):
+			code = http.StatusTooManyRequests
+		case errors.Is(err, ErrDraining):
 			code = http.StatusServiceUnavailable
 		case errors.Is(err, sweep.ErrUnknownScenario):
 			code = http.StatusNotFound
 		}
 		writeError(w, code, err)
+		return
+	}
+	if replayed {
+		// The key already named a submission (a retry of a response the
+		// client never saw): acknowledge the existing job, don't duplicate.
+		writeJSON(w, http.StatusOK, j.Status())
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.Status())
@@ -158,11 +187,20 @@ func (s *server) jobEvents(w http.ResponseWriter, r *http.Request) {
 // streamJob drives one NDJSON stream over a job: next(j, i) blocks for the
 // i-th line's payload (nil once the stream is exhausted or the context
 // dies), and a failed/canceled job terminates the stream with an
-// {"error": ...} line.
+// {"error": ...} line. ?from=N starts at line N, serving resumption.
 func (s *server) streamJob(w http.ResponseWriter, r *http.Request, next func(*Job, int) (any, JobState, string)) {
 	j, ok := s.job(w, r)
 	if !ok {
 		return
+	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid from=%q", v))
+			return
+		}
+		from = n
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -174,7 +212,7 @@ func (s *server) streamJob(w http.ResponseWriter, r *http.Request, next func(*Jo
 		flusher.Flush()
 	}
 	enc := json.NewEncoder(w)
-	for i := 0; ; i++ {
+	for i := from; ; i++ {
 		line, state, errMsg := next(j, i)
 		if line == nil {
 			if state == StateFailed || state == StateCanceled {
@@ -187,6 +225,12 @@ func (s *server) streamJob(w http.ResponseWriter, r *http.Request, next func(*Jo
 		}
 		if flusher != nil {
 			flusher.Flush()
+		}
+		if faultpoint(FaultDropConnectionMidStream) {
+			// Sever the connection abruptly (no terminating error line, no
+			// clean EOF semantics) — the torn-socket case stream resumption
+			// exists for.
+			panic(http.ErrAbortHandler)
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -48,6 +49,24 @@ type Options struct {
 	// RetainAge prunes terminal jobs whose finish time is older than this,
 	// independent of RetainJobs. 0 keeps everything.
 	RetainAge time.Duration
+	// StateDir enables the durable job store (see store.go): submissions,
+	// state transitions, cell records, reports and the ETA calibration are
+	// journaled under this directory, and OpenManager recovers them —
+	// terminal jobs restore intact, queued jobs re-enqueue, jobs that were
+	// running when the process died are marked interrupted and re-execute.
+	// Empty keeps the PR-4 in-memory-only behavior.
+	StateDir string
+	// JobTimeoutScale scales the EWMA-calibrated wall-clock estimate of a
+	// job into its timeout: a job is failed once it has run longer than
+	// Scale x its calibrated estimate (never less than JobTimeoutFloor).
+	// Timeouts only engage once the ETA model has at least one
+	// observation — an uncalibrated daemon cannot distinguish slow from
+	// stuck. 0 selects 20; negative disables timeouts.
+	JobTimeoutScale float64
+	// JobTimeoutFloor is the minimum per-job timeout (0 selects 30s) —
+	// the calibrated estimate of a tiny job is milliseconds, and a 20x
+	// margin of milliseconds would misfire on any scheduling hiccup.
+	JobTimeoutFloor time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -61,6 +80,12 @@ func (o *Options) withDefaults() Options {
 	if out.CachePressure <= 0 {
 		out.CachePressure = 0.9
 	}
+	if out.JobTimeoutScale == 0 {
+		out.JobTimeoutScale = 20
+	}
+	if out.JobTimeoutFloor <= 0 {
+		out.JobTimeoutFloor = 30 * time.Second
+	}
 	return out
 }
 
@@ -68,11 +93,17 @@ func (o *Options) withDefaults() Options {
 type JobState string
 
 const (
-	StateQueued   JobState = "queued"
-	StateRunning  JobState = "running"
-	StateDone     JobState = "done"
-	StateFailed   JobState = "failed"
-	StateCanceled JobState = "canceled"
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	// StateInterrupted marks a job whose execution was cut short by
+	// process death or a drain deadline rather than by anyone's choice:
+	// it is queued for re-execution (deterministic simulation makes the
+	// re-run bit-identical), so it is NOT terminal — consumers keep
+	// waiting exactly as they would for a queued job.
+	StateInterrupted JobState = "interrupted"
+	StateDone        JobState = "done"
+	StateFailed      JobState = "failed"
+	StateCanceled    JobState = "canceled"
 )
 
 // terminal reports whether no further transitions can happen.
@@ -138,6 +169,17 @@ type Job struct {
 
 	// eta is the manager's shared wall-clock calibration.
 	eta *etaModel
+
+	// store is the manager's durable store (nil without one); the job
+	// journals its own memoized report through it.
+	store *Store
+
+	// idemKey is the client's Idempotency-Key ("" when none): retried
+	// submissions carrying it resolve to this job instead of duplicating.
+	idemKey string
+	// interrupted marks a running job whose cancellation means "requeue,
+	// don't fail": set by a drain deadline before canceling the context.
+	interrupted bool
 
 	cancel context.CancelFunc
 }
@@ -306,35 +348,64 @@ func (j *Job) Report() (*sweep.Report, error) {
 	if !ok || sc.Reduce == nil {
 		return nil, fmt.Errorf("service: %w: %q", ErrNoReduction, req.Scenario)
 	}
-	rep, err := sc.Reduce(recs, req.Filter)
+	// Reducers are scenario-author code running inside the daemon: contain
+	// their panics to this one request (the job itself stays done — a
+	// report bug must not poison a finished sweep, let alone the process).
+	rep, err := func() (rep *sweep.Report, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("service: reduce panicked: %v\n%s", r, debug.Stack())
+			}
+		}()
+		if faultpoint(FaultPanicInReduce) {
+			panic("faultpoint " + FaultPanicInReduce)
+		}
+		return sc.Reduce(recs, req.Filter)
+	}()
 	if err != nil {
 		return nil, err
 	}
 	j.mu.Lock()
 	j.report = rep
+	store := j.store
 	j.mu.Unlock()
+	if store != nil {
+		store.append(journalEntry{Report: &reportEntry{ID: j.id, Report: rep}})
+	}
 	return rep, nil
 }
 
-// ErrBusy is returned (and mapped to 503) when admission control rejects
-// a submission; the service is healthy, just saturated.
+// ErrBusy is returned (and mapped to 429 + Retry-After) when admission
+// control rejects a submission; the service is healthy, just saturated —
+// the client should back off and retry the identical request.
 type ErrBusy struct{ Reason string }
 
 func (e ErrBusy) Error() string { return "service busy: " + e.Reason }
 
-// Manager owns the job table, the admission policy and the worker pool.
+// ErrDraining is returned (and mapped to 503 + Retry-After) while the
+// manager is shutting down gracefully: no new work is admitted, but a
+// replacement process may accept the retry.
+var ErrDraining = errors.New("service draining: not accepting new jobs")
+
+// Manager owns the job table, the admission policy, the worker pool and
+// (when Options.StateDir is set) the durable job store.
 type Manager struct {
 	opts Options
 
 	// eta calibrates cost-unit wall-clock across all jobs (see eta.go).
 	eta etaModel
 
+	// store is the durable journal+snapshot (nil without StateDir).
+	store *Store
+
 	mu            sync.Mutex
 	jobs          map[string]*Job
-	order         []string // creation order, for listings
+	idem          map[string]string // Idempotency-Key -> job ID
+	order         []string          // creation order, for listings
 	nextID        int
 	runningCount  int
 	lastEvictions uint64
+	draining      bool
 	closed        bool
 
 	// pending is the submitted-but-not-started FIFO; workers pop from the
@@ -346,23 +417,178 @@ type Manager struct {
 	wg sync.WaitGroup
 }
 
-// NewManager starts a manager and its workers.
+// NewManager starts a manager and its workers; it panics if the durable
+// store cannot be opened (use OpenManager to handle that error).
 func NewManager(opts Options) *Manager {
-	o := opts.withDefaults()
-	m := &Manager{
-		opts: o,
-		jobs: make(map[string]*Job),
-	}
-	m.queueCond = sync.NewCond(&m.mu)
-	m.wg.Add(o.MaxConcurrent)
-	for i := 0; i < o.MaxConcurrent; i++ {
-		go m.worker()
+	m, err := OpenManager(opts)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }
 
-// Close stops accepting jobs, cancels everything queued or running, and
-// waits for the workers to drain.
+// OpenManager starts a manager and its workers. With Options.StateDir
+// set, it opens the durable job store, recovers every persisted job —
+// terminal jobs restore with their records and reports, queued jobs
+// re-enqueue in submit order, jobs caught running by the crash requeue as
+// interrupted — restores the ETA calibration, and compacts the recovered
+// state into a fresh snapshot before accepting new work.
+func OpenManager(opts Options) (*Manager, error) {
+	o := opts.withDefaults()
+	m := &Manager{
+		opts: o,
+		jobs: make(map[string]*Job),
+		idem: make(map[string]string),
+	}
+	m.queueCond = sync.NewCond(&m.mu)
+	if o.StateDir != "" {
+		st, err := openStore(o.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		m.store = st
+		m.recoverFrom(st.recover())
+		// Fold the recovered state (including interrupted-state rewrites
+		// and any torn journal tail) into a clean snapshot + empty journal.
+		st.compact(m.snapshot())
+	}
+	m.wg.Add(o.MaxConcurrent)
+	for i := 0; i < o.MaxConcurrent; i++ {
+		go m.worker()
+	}
+	return m, nil
+}
+
+// recoverFrom rebuilds the job table from the store's recovered state.
+// Runs before the workers start, so no locking is needed. A stored job
+// that no longer plans (scenario unregistered, filter invalid after
+// version skew) is dropped — recovery skips, never crashes.
+func (m *Manager) recoverFrom(rs *recoveredState) {
+	m.nextID = rs.NextID
+	if rs.ETA != nil {
+		m.eta.restore(rs.ETA.SecPerUnit, rs.ETA.Samples)
+	}
+	for _, sj := range rs.Jobs {
+		plan, err := sj.Request.Plan()
+		if err != nil {
+			continue
+		}
+		j := newJob(sj.ID, sj.Request, plan, &m.eta, sj.Created)
+		j.idemKey = sj.Key
+		j.store = m.store
+		if sj.Started != nil {
+			j.started = *sj.Started
+		}
+		switch {
+		case sj.State.terminal():
+			j.state = sj.State
+			j.err = sj.Error
+			if sj.Finished != nil {
+				j.finished = *sj.Finished
+			}
+			// A terminal job's records must be the complete plan-order
+			// stream; a gap means the journal lied (torn entries between
+			// intact ones cannot happen, but a forged/edited journal can) —
+			// demote to interrupted and re-execute rather than serve holes.
+			complete := len(sj.Records) == len(plan.Cells)
+			for _, r := range sj.Records {
+				if r == nil {
+					complete = false
+				}
+			}
+			if sj.State == StateDone && !complete {
+				j.state = StateInterrupted
+				j.err = ""
+				j.finished = time.Time{}
+				m.pending = append(m.pending, j)
+				break
+			}
+			j.records = sj.Records
+			j.report = sj.Report
+			if sj.State == StateDone {
+				j.costDone = 1
+			}
+		case sj.State == StateQueued:
+			m.pending = append(m.pending, j)
+		default:
+			// Running or already interrupted when the process died:
+			// deterministic re-execution is bit-identical, so partial
+			// records are discarded and the job re-runs from scratch.
+			j.state = StateInterrupted
+			m.pending = append(m.pending, j)
+		}
+		m.jobs[sj.ID] = j
+		m.order = append(m.order, sj.ID)
+		if sj.Key != "" {
+			m.idem[sj.Key] = sj.ID
+		}
+	}
+}
+
+// snapshot captures the full persistent state for compaction.
+func (m *Manager) snapshot() *snapshotFile {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	nextID := m.nextID
+	m.mu.Unlock()
+	snap := &snapshotFile{Version: storeVersion, NextID: nextID}
+	if sec, n := m.eta.export(); n > 0 {
+		snap.ETA = &etaEntry{SecPerUnit: sec, Samples: n}
+	}
+	for _, j := range jobs {
+		snap.Jobs = append(snap.Jobs, j.stored())
+	}
+	return snap
+}
+
+// stored snapshots one job into its persisted form.
+func (j *Job) stored() *storedJob {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	sj := &storedJob{
+		ID:      j.id,
+		Request: j.request,
+		Key:     j.idemKey,
+		State:   j.state,
+		Error:   j.err,
+		Created: j.created,
+	}
+	// A job snapshotted mid-run persists as interrupted: if this snapshot
+	// is the one a restart recovers, the run it describes is already dead.
+	if sj.State == StateRunning {
+		sj.State = StateInterrupted
+		sj.Error = ""
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		sj.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		sj.Finished = &t
+	}
+	if j.state.terminal() {
+		sj.Records = append([]*sweep.CellRecord(nil), j.records...)
+		sj.Report = j.report
+	}
+	return sj
+}
+
+// journal appends one entry to the durable store, if any.
+func (m *Manager) journal(e journalEntry) {
+	if m.store != nil {
+		m.store.append(e)
+	}
+}
+
+// Close stops accepting jobs immediately, cancels everything queued or
+// running, waits for the workers, and persists whatever state results
+// (use Shutdown for a graceful drain that keeps queued work alive).
+// Idempotent, including after Shutdown.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -380,6 +606,10 @@ func (m *Manager) Close() {
 		m.cancelJob(j)
 	}
 	m.wg.Wait()
+	if m.store != nil {
+		m.store.compact(m.snapshot())
+		m.store.close()
+	}
 }
 
 // admissionError applies the admission policy to one snapshot of the
@@ -411,37 +641,64 @@ func admissionError(st simcache.Stats, queued, running int, lastEvictions uint64
 
 // Submit validates, plans and enqueues one job request. Unknown
 // scenarios, non-sweep scenarios and invalid filters fail here,
-// synchronously; admission rejections return ErrBusy.
+// synchronously; admission rejections return ErrBusy, a draining or
+// closed manager ErrDraining.
 func (m *Manager) Submit(req sweep.JobRequest) (*Job, error) {
+	j, _, err := m.SubmitIdempotent(req, "")
+	return j, err
+}
+
+// SubmitIdempotent is Submit with an optional client-chosen idempotency
+// key: a key that already named a submission returns that job with
+// replayed=true instead of enqueuing a duplicate — the contract that
+// makes client-side submit retries safe (the first attempt's response may
+// have been lost after the server processed it). Keys survive restarts
+// (they are journaled with the job) and are forgotten when the job is
+// pruned.
+func (m *Manager) SubmitIdempotent(req sweep.JobRequest, key string) (j *Job, replayed bool, err error) {
 	plan, err := req.Plan()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	m.mu.Lock()
-	if m.closed {
+	if key != "" {
+		if id, ok := m.idem[key]; ok {
+			if prev := m.jobs[id]; prev != nil {
+				m.mu.Unlock()
+				return prev, true, nil
+			}
+		}
+	}
+	if m.closed || m.draining {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("service: manager closed")
+		return nil, false, ErrDraining
 	}
 	st := simcache.Default().Stats()
 	if err := admissionError(st, len(m.pending), m.runningCount, m.lastEvictions, m.opts); err != nil {
 		m.lastEvictions = st.Evictions
 		m.mu.Unlock()
-		return nil, err
+		return nil, false, err
 	}
 	m.lastEvictions = st.Evictions
 	m.nextID++
 	id := fmt.Sprintf("job-%d", m.nextID)
-	j := newJob(id, req, plan, &m.eta, time.Now())
+	j = newJob(id, req, plan, &m.eta, time.Now())
+	j.idemKey = key
+	j.store = m.store
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	m.pending = append(m.pending, j)
+	if key != "" {
+		m.idem[key] = id
+	}
 	m.queueCond.Signal()
 	m.mu.Unlock()
+	m.journal(journalEntry{Submit: j.stored()})
 	// Age-based retention advances on submissions too, so an idle daemon
 	// sheds stale terminal jobs on its next contact.
 	m.prune()
-	return j, nil
+	return j, false, nil
 }
 
 // prune applies the retention policy: terminal jobs beyond RetainJobs
@@ -453,8 +710,8 @@ func (m *Manager) prune() {
 	}
 	now := time.Now()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	kept := make([]string, 0, len(m.order))
+	var evicted []string
 	terminal := 0
 	for i := len(m.order) - 1; i >= 0; i-- { // newest first
 		id := m.order[i]
@@ -475,6 +732,10 @@ func (m *Manager) prune() {
 		}
 		if evict {
 			delete(m.jobs, id)
+			if j.idemKey != "" {
+				delete(m.idem, j.idemKey)
+			}
+			evicted = append(evicted, id)
 		} else {
 			kept = append(kept, id)
 		}
@@ -484,6 +745,17 @@ func (m *Manager) prune() {
 		kept[l], kept[r] = kept[r], kept[l]
 	}
 	m.order = kept
+	m.mu.Unlock()
+	// Evictions shrink durable state too: journal the removals, then fold
+	// everything into a fresh snapshot so the records/reports of pruned
+	// jobs actually leave the disk (-retain/-retain-age bound the store's
+	// footprint, not just the table's).
+	if len(evicted) > 0 && m.store != nil {
+		for _, id := range evicted {
+			m.journal(journalEntry{Forget: &forgetEntry{ID: id}})
+		}
+		m.store.compact(m.snapshot())
+	}
 }
 
 // Job returns a job by ID.
@@ -543,12 +815,16 @@ func (m *Manager) cancelJob(j *Job) {
 
 	j.mu.Lock()
 	switch j.state {
-	case StateQueued:
+	case StateQueued, StateInterrupted:
 		j.state = StateCanceled
 		j.err = "canceled before start"
 		j.finished = time.Now()
+		finished := j.finished
 		j.cond.Broadcast()
 		j.mu.Unlock()
+		m.journal(journalEntry{State: &stateEntry{
+			ID: j.id, State: StateCanceled, Error: "canceled before start", At: finished,
+		}})
 	case StateRunning:
 		cancel := j.cancel
 		j.mu.Unlock()
@@ -560,15 +836,17 @@ func (m *Manager) cancelJob(j *Job) {
 	}
 }
 
-// worker pops pending jobs until Close.
+// worker pops pending jobs until Close; while draining it pops nothing,
+// so queued jobs persist for the next process instead of racing the
+// shutdown deadline.
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for len(m.pending) == 0 && !m.closed {
+		for !m.closed && (m.draining || len(m.pending) == 0) {
 			m.queueCond.Wait()
 		}
-		if len(m.pending) == 0 { // closed and drained
+		if m.closed {
 			m.mu.Unlock()
 			return
 		}
@@ -585,62 +863,201 @@ func (m *Manager) worker() {
 
 // runJob executes one job end to end.
 func (m *Manager) runJob(j *Job) {
-	ctx, cancel := context.WithCancel(context.Background())
+	parent, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
 	j.mu.Lock()
-	if j.state != StateQueued { // canceled between pop and start
-		j.mu.Unlock()
+	if j.state != StateQueued && j.state != StateInterrupted {
+		j.mu.Unlock() // canceled between pop and start
 		return
 	}
+	// An interrupted job re-executes from scratch: the determinism contract
+	// makes the fresh stream bit-identical to the one the crash cut short,
+	// so partial progress is worthless and dropped.
 	j.state = StateRunning
 	j.started = time.Now()
+	j.err = ""
+	j.records = nil
+	j.fractions = nil
+	j.costDone = 0
+	j.report = nil
+	j.interrupted = false
 	j.cancel = cancel
+	started := j.started
 	j.mu.Unlock()
+	m.journal(journalEntry{State: &stateEntry{ID: j.id, State: StateRunning, At: started}})
 
 	// Cost estimation builds workload instances, so it runs on the worker
 	// rather than in the submit path; best effort — a plan that executes
 	// can still fail to estimate, which only costs the progress fractions.
-	cost, costErr := j.plan.Cost()
+	// Builds are scenario-author code: contain their panics (estimation
+	// runs inline on this worker goroutine, outside the runner pool's own
+	// panic conversion).
+	cost, costErr := func() (c *sweep.Cost, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("cost estimation panicked: %v", r)
+			}
+		}()
+		return j.plan.Cost()
+	}()
 	if costErr == nil {
 		j.mu.Lock()
 		j.cost = cost
 		j.mu.Unlock()
 	}
 
+	// Wall-clock timeout, derived from the calibrated ETA: a job that has
+	// run JobTimeoutScale times its estimate is stuck, not slow. Only
+	// engages once the EWMA has absorbed at least one observation — an
+	// uncalibrated daemon cannot tell the difference.
+	ctx := parent
+	if m.opts.JobTimeoutScale > 0 && cost != nil {
+		if est, ok := m.eta.estimate(float64(cost.EstCycles)); ok {
+			d := time.Duration(m.opts.JobTimeoutScale * est * float64(time.Second))
+			if d < m.opts.JobTimeoutFloor {
+				d = m.opts.JobTimeoutFloor
+			}
+			var tcancel context.CancelFunc
+			ctx, tcancel = context.WithTimeout(parent, d)
+			defer tcancel()
+		}
+	}
+
 	// Stream callbacks arrive serialized in plan order, so the wall-clock
 	// between consecutive callbacks is the pipeline's per-cell throughput —
-	// the sample the ETA calibration wants.
-	lastEmit := time.Now()
-	_, err := j.plan.RunContext(ctx, func(cr *sweep.CellResult) {
-		rec := j.plan.Record(cr)
-		now := time.Now()
-		j.mu.Lock()
-		j.records = append(j.records, rec)
-		if j.cost != nil {
-			j.costDone += j.cost.PerCell[rec.Index]
-			m.eta.observe(j.cost.PerCell[rec.Index]*float64(j.cost.EstCycles), now.Sub(lastEmit).Seconds())
-		}
-		j.fractions = append(j.fractions, j.costDone)
-		lastEmit = now
-		j.cond.Broadcast()
-		j.mu.Unlock()
-	})
+	// the sample the ETA calibration wants. The whole execution runs under
+	// a recover: a panicking scenario on this goroutine fails this job with
+	// the stack in its error, never the daemon (panics on the runner pool's
+	// goroutines surface as a *runner.PanicError return instead).
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("job panicked: %v\n%s", r, debug.Stack())
+			}
+		}()
+		lastEmit := time.Now()
+		_, err = j.plan.RunContext(ctx, func(cr *sweep.CellResult) {
+			rec := j.plan.Record(cr)
+			now := time.Now()
+			j.mu.Lock()
+			j.records = append(j.records, rec)
+			if j.cost != nil {
+				j.costDone += j.cost.PerCell[rec.Index]
+				m.eta.observe(j.cost.PerCell[rec.Index]*float64(j.cost.EstCycles), now.Sub(lastEmit).Seconds())
+			}
+			j.fractions = append(j.fractions, j.costDone)
+			lastEmit = now
+			j.cond.Broadcast()
+			j.mu.Unlock()
+			m.journal(journalEntry{Cell: &cellEntry{ID: j.id, Record: rec}})
+		})
+		return err
+	}()
 
 	j.mu.Lock()
-	j.finished = time.Now()
 	switch {
 	case err == nil:
+		j.finished = time.Now()
 		j.state = StateDone
 		j.costDone = 1
-	case ctx.Err() != nil:
+	case j.interrupted:
+		// A drain deadline cut this run short: not a failure, not a
+		// cancellation — the job requeues (here in state only; the next
+		// process's recovery re-enqueues it) for bit-identical re-execution.
+		j.state = StateInterrupted
+		j.err = ""
+	case ctx.Err() == context.DeadlineExceeded:
+		j.finished = time.Now()
+		j.state = StateFailed
+		j.err = fmt.Sprintf("timed out (exceeded %.0fx the calibrated estimate)", m.opts.JobTimeoutScale)
+	case parent.Err() != nil:
+		j.finished = time.Now()
 		j.state = StateCanceled
 		j.err = "canceled"
 	default:
+		j.finished = time.Now()
 		j.state = StateFailed
 		j.err = err.Error()
 	}
+	state, errMsg, finished := j.state, j.err, j.finished
 	j.cond.Broadcast()
 	j.mu.Unlock()
+	m.journal(journalEntry{State: &stateEntry{ID: j.id, State: state, Error: errMsg, At: finished}})
 	m.prune()
+}
+
+// interrupt cancels a running job while marking the cancellation as
+// "requeue for re-execution, don't fail" — what a drain deadline means.
+func (j *Job) interrupt() {
+	j.mu.Lock()
+	if j.state != StateRunning {
+		j.mu.Unlock()
+		return
+	}
+	j.interrupted = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Health reports the manager's liveness for GET /v1/healthz: ok until
+// draining or closed.
+func (m *Manager) Health() (state string, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case m.closed:
+		return "closed", false
+	case m.draining:
+		return "draining", false
+	}
+	return "ok", true
+}
+
+// Shutdown drains the manager gracefully: new submissions are rejected
+// with ErrDraining, queued jobs stay queued (persisted for the next
+// process), and running jobs get until ctx expires to finish — then they
+// are interrupted, checkpointed as such, and will re-execute on recovery.
+// Finally all state is folded into a fresh snapshot and the store closed.
+func (m *Manager) Shutdown(ctx context.Context) {
+	m.mu.Lock()
+	if m.closed || m.draining {
+		m.mu.Unlock()
+		return
+	}
+	m.draining = true
+	m.queueCond.Broadcast() // idle workers re-check and park
+	m.mu.Unlock()
+
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	interrupted := false
+	for {
+		m.mu.Lock()
+		running := m.runningCount
+		m.mu.Unlock()
+		if running == 0 {
+			break
+		}
+		if ctx.Err() != nil && !interrupted {
+			interrupted = true
+			for _, j := range m.Jobs() {
+				j.interrupt()
+			}
+		}
+		<-tick.C
+	}
+
+	m.mu.Lock()
+	m.closed = true
+	m.queueCond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+	if m.store != nil {
+		m.store.compact(m.snapshot())
+		m.store.close()
+	}
 }

@@ -1,0 +1,370 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gpusimpow/internal/simcache"
+	"gpusimpow/internal/sweep"
+)
+
+// The durable job store: an append-only NDJSON journal plus a compacted
+// snapshot under gpowd's -state-dir, so a daemon crash or restart loses
+// no job state. Every artifact a job owns is already serializable
+// (JobRequest, CellRecord, Report, the ETA model's EWMA) and every
+// simulation is deterministic, so recovery is safe replay: terminal jobs
+// restore with their records and memoized reports, queued jobs re-enqueue
+// in submit order, and jobs that were running when the process died come
+// back as "interrupted" and re-execute bit-identically.
+//
+// Layout mirrors internal/simcache/disk.go: state lives under a
+// generation directory (<state-dir>/v<version>-<build fingerprint>/) so a
+// directory shared across simulator versions never replays state an
+// incompatible binary wrote; the snapshot is written atomically (temp
+// file + rename); and corruption is never fatal — a corrupt journal line
+// (including the torn tail a crash mid-write leaves) or an unreadable
+// snapshot is skipped, never a crash.
+//
+// Write path: one journal line per event (submission, state transition,
+// cell record, memoized report, EWMA sample, forget). Lines are appended
+// without fsync — recovery targets process death (SIGKILL, panic, OOM),
+// where the page cache survives; power-loss durability is explicitly not
+// the contract. Compaction (at recovery, on prune evictions, and at
+// shutdown) folds everything into snapshot.json and truncates the
+// journal, which both bounds disk under -retain/-retain-age and clears
+// any torn tail so later appends cannot concatenate onto it.
+//
+// Crash windows: the snapshot is renamed into place before the journal is
+// truncated, so a crash between the two leaves journal entries that are
+// already folded into the snapshot. Replaying them is idempotent by
+// construction — submissions of a known job are skipped, state/report
+// entries overwrite, cell entries place by record index — except that a
+// job forgotten by the snapshot may be resurrected by its surviving
+// journal entries; that is benign (the next prune forgets it again) and
+// strictly better than the reverse order, which could lose jobs.
+
+// storeVersion guards the persisted shape; bump on incompatible change.
+const storeVersion = 1
+
+// storedJob is one job's persisted form — everything recovery needs to
+// rebuild it (the Plan is re-derived from the request).
+type storedJob struct {
+	ID      string           `json:"id"`
+	Request sweep.JobRequest `json:"request"`
+	// Key is the client's Idempotency-Key, so retried submissions keep
+	// resolving to this job across restarts.
+	Key      string     `json:"idempotencyKey,omitempty"`
+	State    JobState   `json:"state"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Records and Report are kept for terminal jobs only: a non-terminal
+	// job re-executes on recovery and regenerates both deterministically.
+	Records []*sweep.CellRecord `json:"records,omitempty"`
+	Report  *sweep.Report       `json:"report,omitempty"`
+}
+
+// stateEntry journals one lifecycle transition.
+type stateEntry struct {
+	ID    string    `json:"id"`
+	State JobState  `json:"state"`
+	Error string    `json:"error,omitempty"`
+	At    time.Time `json:"at"`
+}
+
+// cellEntry journals one streamed cell record; Record.Index is its
+// position, so replaying a duplicate entry is idempotent.
+type cellEntry struct {
+	ID     string            `json:"id"`
+	Record *sweep.CellRecord `json:"record"`
+}
+
+// reportEntry journals a job's memoized reduction.
+type reportEntry struct {
+	ID     string        `json:"id"`
+	Report *sweep.Report `json:"report"`
+}
+
+// etaEntry journals the shared ETA model's calibration.
+type etaEntry struct {
+	SecPerUnit float64 `json:"secPerUnit"`
+	Samples    uint64  `json:"samples"`
+}
+
+// forgetEntry journals a pruned/canceled-and-pruned job's removal.
+type forgetEntry struct {
+	ID string `json:"id"`
+}
+
+// journalEntry is one journal line; exactly one field is set.
+type journalEntry struct {
+	Submit *storedJob   `json:"submit,omitempty"`
+	State  *stateEntry  `json:"state,omitempty"`
+	Cell   *cellEntry   `json:"cell,omitempty"`
+	Report *reportEntry `json:"report,omitempty"`
+	ETA    *etaEntry    `json:"eta,omitempty"`
+	Forget *forgetEntry `json:"forget,omitempty"`
+}
+
+// snapshotFile is the compacted on-disk state.
+type snapshotFile struct {
+	Version int `json:"version"`
+	// NextID is the highest job number ever assigned, so recovered
+	// daemons never reuse a pruned job's ID.
+	NextID int          `json:"nextID"`
+	ETA    *etaEntry    `json:"eta,omitempty"`
+	Jobs   []*storedJob `json:"jobs,omitempty"` // creation order
+}
+
+// recoveredState is what recover() hands the Manager.
+type recoveredState struct {
+	Jobs    []*storedJob // creation order
+	NextID  int
+	ETA     *etaEntry
+	Skipped int // corrupt/unusable journal lines skipped
+}
+
+// Store is the journal + snapshot pair for one state directory.
+type Store struct {
+	mu      sync.Mutex
+	dir     string // generation directory
+	journal *os.File
+	// frozen drops all writes: set by Close, and by tests simulating the
+	// instant of process death (a frozen store is a dead process's disk).
+	frozen bool
+}
+
+// openStore opens (creating if needed) the store under stateDir.
+func openStore(stateDir string) (*Store, error) {
+	dir := filepath.Join(stateDir, fmt.Sprintf("v%d-%s", storeVersion, simcache.Fingerprint()))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: state dir: %w", err)
+	}
+	j, err := os.OpenFile(filepath.Join(dir, "journal.ndjson"),
+		os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: journal: %w", err)
+	}
+	return &Store{dir: dir, journal: j}, nil
+}
+
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.json") }
+func (s *Store) journalPath() string  { return filepath.Join(s.dir, "journal.ndjson") }
+
+// append writes one journal line. All failures are swallowed — durability
+// degrades, the daemon does not; the in-memory state still serves.
+func (s *Store) append(e journalEntry) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.frozen && s.journal != nil {
+		_, _ = s.journal.Write(append(b, '\n'))
+	}
+	s.mu.Unlock()
+	if faultpoint(FaultCrashAfterJournalAppend) {
+		fmt.Fprintln(os.Stderr, "gpowd: faultpoint crash-after-journal-append: dying")
+		os.Exit(137)
+	}
+}
+
+// freeze drops all future writes — the test stand-in for SIGKILL: what is
+// on disk now is exactly the crash image a killed process leaves.
+func (s *Store) freeze() {
+	s.mu.Lock()
+	s.frozen = true
+	s.mu.Unlock()
+}
+
+// recover reads the snapshot, folds the journal over it, and returns the
+// merged state. Corrupt snapshot: start empty. Corrupt journal line
+// (including a torn tail): skip. Entries referencing unknown jobs: skip,
+// except submissions, which introduce jobs.
+func (s *Store) recover() *recoveredState {
+	rs := &recoveredState{}
+	byID := map[string]*storedJob{}
+	var order []string
+
+	if b, err := os.ReadFile(s.snapshotPath()); err == nil {
+		var snap snapshotFile
+		if json.Unmarshal(b, &snap) == nil && snap.Version == storeVersion {
+			rs.NextID = snap.NextID
+			rs.ETA = snap.ETA
+			for _, sj := range snap.Jobs {
+				if sj == nil || sj.ID == "" || byID[sj.ID] != nil {
+					continue
+				}
+				byID[sj.ID] = sj
+				order = append(order, sj.ID)
+			}
+		}
+	}
+
+	if f, err := os.Open(s.journalPath()); err == nil {
+		r := bufio.NewReader(f)
+		for {
+			line, err := r.ReadBytes('\n')
+			atEOF := err != nil
+			if len(line) > 0 {
+				var e journalEntry
+				if json.Unmarshal(line, &e) != nil {
+					// Corrupt or torn line: skip. A torn line can only be
+					// the journal's tail (appends are single writes), so
+					// nothing after it is lost.
+					rs.Skipped++
+				} else {
+					applyEntry(&e, byID, &order, rs)
+				}
+			}
+			if atEOF {
+				break
+			}
+		}
+		f.Close()
+	}
+
+	for _, id := range order {
+		rs.Jobs = append(rs.Jobs, byID[id])
+	}
+	for _, sj := range rs.Jobs {
+		if n := jobNumber(sj.ID); n > rs.NextID {
+			rs.NextID = n
+		}
+	}
+	return rs
+}
+
+// applyEntry folds one journal entry into the recovery state.
+func applyEntry(e *journalEntry, byID map[string]*storedJob, order *[]string, rs *recoveredState) {
+	switch {
+	case e.Submit != nil && e.Submit.ID != "":
+		if byID[e.Submit.ID] != nil {
+			return // replayed after a partial compaction: already known
+		}
+		byID[e.Submit.ID] = e.Submit
+		*order = append(*order, e.Submit.ID)
+	case e.State != nil:
+		sj := byID[e.State.ID]
+		if sj == nil {
+			rs.Skipped++
+			return
+		}
+		sj.State = e.State.State
+		sj.Error = e.State.Error
+		at := e.State.At
+		switch {
+		case e.State.State == StateRunning:
+			sj.Started = &at
+			// A (re)start invalidates any previously journaled records:
+			// the run streams a fresh, bit-identical set.
+			sj.Records = nil
+			sj.Report = nil
+		case e.State.State.terminal():
+			sj.Finished = &at
+		}
+	case e.Cell != nil:
+		sj := byID[e.Cell.ID]
+		if sj == nil || e.Cell.Record == nil || e.Cell.Record.Index < 0 {
+			rs.Skipped++
+			return
+		}
+		// Place by index so duplicate replays are idempotent; the stream
+		// is in plan order, so the slice only ever grows by one.
+		for len(sj.Records) <= e.Cell.Record.Index {
+			sj.Records = append(sj.Records, nil)
+		}
+		sj.Records[e.Cell.Record.Index] = e.Cell.Record
+	case e.Report != nil:
+		if sj := byID[e.Report.ID]; sj != nil {
+			sj.Report = e.Report.Report
+		} else {
+			rs.Skipped++
+		}
+	case e.ETA != nil:
+		rs.ETA = e.ETA
+	case e.Forget != nil:
+		if byID[e.Forget.ID] != nil {
+			delete(byID, e.Forget.ID)
+			for i, id := range *order {
+				if id == e.Forget.ID {
+					*order = append((*order)[:i], (*order)[i+1:]...)
+					break
+				}
+			}
+		}
+	default:
+		rs.Skipped++ // unknown entry kind (version skew): skip
+	}
+}
+
+// jobNumber parses the numeric suffix of "job-N" IDs (0 when foreign).
+func jobNumber(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// compact atomically replaces the snapshot with snap and truncates the
+// journal. Failures leave the previous snapshot + journal intact — the
+// store keeps appending and the next compaction retries.
+func (s *Store) compact(snap *snapshotFile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		return
+	}
+	b, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.snapshotPath()); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	// Snapshot is durable; the journal's contents are now redundant.
+	// (Crash before this truncate: replaying the stale entries over the
+	// new snapshot is idempotent — see the file comment.)
+	if s.journal != nil {
+		_ = s.journal.Truncate(0)
+	}
+}
+
+// close freezes the store and closes the journal.
+func (s *Store) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frozen = true
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+}
+
+// journalBytes is a test helper view of the journal (what a crash would
+// leave on disk at this instant).
+func (s *Store) journalBytes() []byte {
+	b, _ := os.ReadFile(s.journalPath())
+	return b
+}

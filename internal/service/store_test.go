@@ -1,0 +1,203 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"gpusimpow/internal/simcache"
+	"gpusimpow/internal/sweep"
+)
+
+// storeDir returns the generation directory a state dir resolves to.
+func storeDir(stateDir string) string {
+	s, err := openStore(stateDir)
+	if err != nil {
+		panic(err)
+	}
+	defer s.close()
+	return s.dir
+}
+
+// testRecord fabricates one minimal cell record at index i.
+func testRecord(i int) *sweep.CellRecord {
+	return &sweep.CellRecord{Index: i, Scenario: "svcblock", Config: "GT240"}
+}
+
+// The journal round-trips: submissions, transitions and cell records
+// written by one store instance are recovered by the next, in order.
+func TestStoreJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := sweep.JobRequest{Scenario: "svcblock", Label: "round-trip"}
+	created := time.Now().Truncate(time.Millisecond)
+	s.append(journalEntry{Submit: &storedJob{ID: "job-1", Request: req, State: StateQueued, Created: created}})
+	s.append(journalEntry{Submit: &storedJob{ID: "job-2", Request: req, State: StateQueued, Created: created}})
+	started := created.Add(time.Second)
+	s.append(journalEntry{State: &stateEntry{ID: "job-1", State: StateRunning, At: started}})
+	s.append(journalEntry{Cell: &cellEntry{ID: "job-1", Record: testRecord(0)}})
+	s.append(journalEntry{State: &stateEntry{ID: "job-1", State: StateDone, At: started.Add(time.Second)}})
+	s.append(journalEntry{ETA: &etaEntry{SecPerUnit: 0.5, Samples: 3}})
+	s.close()
+
+	s2, err := openStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.close()
+	rs := s2.recover()
+	if rs.Skipped != 0 {
+		t.Errorf("skipped %d entries in a clean journal", rs.Skipped)
+	}
+	if len(rs.Jobs) != 2 || rs.Jobs[0].ID != "job-1" || rs.Jobs[1].ID != "job-2" {
+		t.Fatalf("recovered jobs: %+v", rs.Jobs)
+	}
+	j1 := rs.Jobs[0]
+	if j1.State != StateDone || j1.Started == nil || !j1.Started.Equal(started) || j1.Finished == nil {
+		t.Errorf("job-1 transitions lost: %+v", j1)
+	}
+	if len(j1.Records) != 1 || !reflect.DeepEqual(j1.Records[0], testRecord(0)) {
+		t.Errorf("job-1 records: %+v", j1.Records)
+	}
+	if j1.Request.Label != "round-trip" {
+		t.Errorf("request lost: %+v", j1.Request)
+	}
+	if rs.Jobs[1].State != StateQueued {
+		t.Errorf("job-2 state: %s", rs.Jobs[1].State)
+	}
+	if rs.NextID != 2 {
+		t.Errorf("NextID %d, want 2 (derived from job IDs)", rs.NextID)
+	}
+	if rs.ETA == nil || rs.ETA.SecPerUnit != 0.5 || rs.ETA.Samples != 3 {
+		t.Errorf("eta calibration lost: %+v", rs.ETA)
+	}
+}
+
+// A torn journal tail — the half-written line a crash mid-append leaves —
+// is skipped without losing the intact entries before it, and corrupt
+// lines never crash recovery.
+func TestStoreCorruptTailSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.append(journalEntry{Submit: &storedJob{ID: "job-1", Request: sweep.JobRequest{Scenario: "svcblock"}, State: StateQueued, Created: time.Now()}})
+	s.append(journalEntry{Cell: &cellEntry{ID: "job-1", Record: testRecord(0)}})
+	s.close()
+
+	// Tear the tail: a crash mid-write leaves a prefix of the last line.
+	f, err := os.OpenFile(filepath.Join(storeDir(dir), "journal.ndjson"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"cell":{"id":"job-1","rec`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := openStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.close()
+	rs := s2.recover()
+	if rs.Skipped != 1 {
+		t.Errorf("skipped %d lines, want exactly the torn tail", rs.Skipped)
+	}
+	if len(rs.Jobs) != 1 || len(rs.Jobs[0].Records) != 1 {
+		t.Fatalf("intact entries lost: %+v", rs.Jobs)
+	}
+}
+
+// Compaction folds the journal into the snapshot and truncates it; a
+// crash between the rename and the truncate leaves already-folded journal
+// entries, whose replay must be idempotent (no duplicated jobs, no
+// regressed state).
+func TestStoreCompactionIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := journalEntry{Submit: &storedJob{ID: "job-1", Request: sweep.JobRequest{Scenario: "svcblock"}, State: StateQueued, Created: time.Now()}}
+	done := journalEntry{State: &stateEntry{ID: "job-1", State: StateDone, At: time.Now()}}
+	s.append(submit)
+	s.append(done)
+	s.compact(&snapshotFile{Version: storeVersion, NextID: 1, Jobs: []*storedJob{{
+		ID: "job-1", Request: sweep.JobRequest{Scenario: "svcblock"},
+		State: StateDone, Created: time.Now(),
+	}}})
+	if b := s.journalBytes(); len(b) != 0 {
+		t.Fatalf("journal not truncated by compaction: %q", b)
+	}
+	// Simulate the crash window: re-append the entries the snapshot already
+	// folded, as if the truncate had never happened.
+	s.append(submit)
+	s.append(done)
+	s.close()
+
+	s2, err := openStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.close()
+	rs := s2.recover()
+	if len(rs.Jobs) != 1 {
+		t.Fatalf("stale journal replay duplicated jobs: %+v", rs.Jobs)
+	}
+	if rs.Jobs[0].State != StateDone || rs.NextID != 1 {
+		t.Errorf("replay regressed state: %+v nextID=%d", rs.Jobs[0], rs.NextID)
+	}
+}
+
+// Forget entries remove jobs (retention pruning's durable half), and an
+// unreadable snapshot degrades to an empty start, never a crash.
+func TestStoreForgetAndCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.append(journalEntry{Submit: &storedJob{ID: "job-1", Request: sweep.JobRequest{Scenario: "svcblock"}, State: StateQueued, Created: time.Now()}})
+	s.append(journalEntry{Submit: &storedJob{ID: "job-2", Request: sweep.JobRequest{Scenario: "svcblock"}, State: StateQueued, Created: time.Now()}})
+	s.append(journalEntry{Forget: &forgetEntry{ID: "job-1"}})
+	rs := s.recover()
+	if len(rs.Jobs) != 1 || rs.Jobs[0].ID != "job-2" {
+		t.Errorf("forget not applied: %+v", rs.Jobs)
+	}
+	if rs.NextID != 2 {
+		t.Errorf("NextID %d, want 2: forgotten IDs must never be reused", rs.NextID)
+	}
+	s.close()
+
+	if err := os.WriteFile(filepath.Join(storeDir(dir), "snapshot.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := openStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.close()
+	rs = s2.recover() // journal still has the submits + forget
+	if len(rs.Jobs) != 1 {
+		t.Errorf("corrupt snapshot should fall back to the journal: %+v", rs.Jobs)
+	}
+}
+
+// The store's generation directory is fingerprinted like the simulation
+// cache's: state written by a different simulator build is invisible, not
+// blindly replayed.
+func TestStoreGenerationDir(t *testing.T) {
+	dir := t.TempDir()
+	got := storeDir(dir)
+	want := filepath.Join(dir, "v1-"+simcache.Fingerprint())
+	if got != want {
+		t.Errorf("generation dir %q, want %q", got, want)
+	}
+}

@@ -45,8 +45,16 @@ const diskVersion = 1
 // the simulator starts a fresh generation. Only if both fail does the
 // catch-all "dev" generation apply.
 var generation = sync.OnceValue(func() string {
-	return fmt.Sprintf("v%d-%s", diskVersion, buildFingerprint())
+	return fmt.Sprintf("v%d-%s", diskVersion, Fingerprint())
 })
+
+// Fingerprint identifies the running build for on-disk generation dirs:
+// the VCS revision for clean stamped builds, a hash of the executable for
+// everything else (test binaries, dirty trees), "dev" as the catch-all.
+// Shared with the service's durable job store, which has the same
+// "state written by another simulator version must not be replayed
+// blindly" problem this cache solved first.
+var Fingerprint = sync.OnceValue(buildFingerprint)
 
 func buildFingerprint() string {
 	if bi, ok := debug.ReadBuildInfo(); ok {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -220,5 +221,47 @@ func TestRunContextCancel(t *testing.T) {
 	cancel()
 	if _, err := p.RunContext(ctx, nil); err == nil {
 		t.Error("canceled context should abort the run")
+	}
+}
+
+// Progress events round-trip through JSON unchanged — they are the
+// payload of the service's NDJSON event stream, where a resuming client
+// re-reads previously delivered lines and must see identical values.
+func TestProgressRoundTrip(t *testing.T) {
+	in := Progress{
+		Scenario:     "wireprobe",
+		Done:         3,
+		Total:        5,
+		TimingRuns:   2,
+		CostFraction: 0.625,
+		Cell: &CellRecord{
+			Scenario:   "wireprobe",
+			Index:      2,
+			Coords:     []Coord{{Axis: "gpu", Value: "GT240"}},
+			Config:     "GT240",
+			Workload:   "probe",
+			ClockScale: 1,
+			Units:      []UnitRecord{},
+		},
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Progress
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the event:\n %+v\n-> %+v", in, out)
+	}
+	// CostFraction is omitempty: an estimate-less event leaves the key
+	// off the wire entirely.
+	in.CostFraction = 0
+	if b, err = json.Marshal(in); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "costFraction") {
+		t.Errorf("zero cost fraction serialized anyway: %s", b)
 	}
 }
