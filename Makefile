@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench baseline bench-compare ci-bench ci-service ci-restart fmt-check golden-update
+.PHONY: ci vet build test race bench baseline bench-compare ci-bench ci-service ci-restart ci-fleet fmt-check golden-update
 
-ci: fmt-check vet build race ci-bench ci-service ci-restart
+ci: fmt-check vet build race ci-bench ci-service ci-restart ci-fleet
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,15 @@ ci-service:
 # (see scripts/service_restart.sh).
 ci-restart:
 	./scripts/service_restart.sh
+
+# Fleet chaos drill: run 2 gpowd backends behind gpowfleet, kill the
+# job's ring-owner backend mid-run via faultpoint, and prove the riding
+# client's NDJSON and the failed-over job's report match an
+# uninterrupted single-node run byte for byte; then drain a backend and
+# prove it takes no new work while still serving its existing jobs
+# (see scripts/fleet_drill.sh, docs/FLEET.md).
+ci-fleet:
+	./scripts/fleet_drill.sh
 
 # The scenario golden files (internal/experiments/testdata/*.golden) pin
 # every scenario's rendered report byte-identical to the pre-split

@@ -1,0 +1,99 @@
+// Package fleet turns N independent gpowd daemons into one fault-tolerant
+// sweep service behind the unchanged /v1/* API. The router (router.go)
+// shards jobs across backends by the plan's dominant timing-group key
+// (sweep.Plan.RoutingKey) over the consistent-hash ring in this file, so
+// sweeps that share their expensive simulation land where the simcache is
+// already hot; the prober (backend.go) drives a three-state circuit
+// breaker (healthy/draining/dead) per backend; failover (router.go)
+// re-dispatches a dead backend's jobs to survivors under their original
+// idempotency keys, riding on the backends' bit-identical re-execution;
+// and the routing table persists through the same journal+snapshot store
+// the daemons use (store.go), so a router restart recovers every
+// job→backend assignment.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringVnodes is how many virtual points each backend contributes. 128
+// keeps the per-backend share within a few percent of uniform for
+// single-digit fleets while the ring stays tiny (N×128 points).
+const ringVnodes = 128
+
+// ringPoint is one virtual node: a hash position owned by a backend.
+type ringPoint struct {
+	hash uint64
+	name string
+}
+
+// Ring is a consistent-hash ring over backend names. Hashing names (not
+// URLs) keeps assignments stable when a backend moves hosts, and makes
+// the ring a pure function of the membership list — the router and the
+// `gpowfleet -route` dry-run compute identical owners.
+//
+// The consistency property failover depends on: removing a backend moves
+// only the keys that backend owned (they fall to the next point
+// clockwise); the survivors' keys do not shuffle. Adding one steals keys
+// only for the new backend. Ring stability is what makes a drain or a
+// death a bounded re-dispatch, not a fleet-wide cache flush.
+type Ring struct {
+	points []ringPoint // sorted by hash
+}
+
+// hash64 is FNV-1a — stable across processes and platforms (a routing
+// table that outlives the process must never depend on seeded hashing).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// NewRing builds the ring for the given backend names.
+func NewRing(names []string) *Ring {
+	r := &Ring{points: make([]ringPoint, 0, len(names)*ringVnodes)}
+	for _, name := range names {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("%s#%d", name, v)),
+				name: name,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.name < b.name // total order even on hash collisions
+	})
+	return r
+}
+
+// Lookup returns the owner of key among backends admitted by ok (nil
+// admits all): the first admitted point clockwise from the key's hash.
+// Walking past rejected points is what makes the ring and the breaker
+// compose — a dead owner's keys fall through to the next live backend,
+// and exactly those keys return home when it recovers. Returns "" when no
+// backend is admitted.
+func (r *Ring) Lookup(key string, ok func(name string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := map[string]bool{} // a name rejected once need not be re-asked
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.name] {
+			continue
+		}
+		if ok == nil || ok(p.name) {
+			return p.name
+		}
+		seen[p.name] = true
+	}
+	return ""
+}

@@ -106,6 +106,18 @@ func sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// sleepBounded waits d, but never past ctx's deadline: a backoff (or a
+// server Retry-After) that would outlive the context is pointless — the
+// retry it delays could never be issued — so it returns
+// context.DeadlineExceeded immediately instead of sleeping into a
+// guaranteed failure.
+func sleepBounded(ctx context.Context, d time.Duration) error {
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < d {
+		return context.DeadlineExceeded
+	}
+	return sleep(ctx, d)
+}
+
 // retryAfter extracts a 429/503 response's Retry-After delay (0 when
 // absent or unparseable; only the delta-seconds form is supported).
 func retryAfter(resp *http.Response) time.Duration {
@@ -164,8 +176,8 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, idemK
 			d = ra
 		}
 		c.logf("service: %s %s: %v; retrying in %v", method, path, lastErr, d)
-		if err := sleep(ctx, d); err != nil {
-			return nil, lastErr
+		if err := sleepBounded(ctx, d); err != nil {
+			return nil, errors.Join(err, lastErr)
 		}
 	}
 }
@@ -226,6 +238,26 @@ func (c *Client) Health(ctx context.Context) (state string, ok bool, err error) 
 	return env.Status, resp.StatusCode == http.StatusOK, nil
 }
 
+// ProbeHealth fetches the full enriched /v1/healthz payload (load, cache
+// heat, drain state). Like Health it is a point probe, never retried: a
+// dead or hung daemon should report as one within ctx's deadline.
+func (c *Client) ProbeHealth(ctx context.Context) (*HealthInfo, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/healthz"), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	var hi HealthInfo
+	if err := json.NewDecoder(resp.Body).Decode(&hi); err != nil {
+		return nil, false, err
+	}
+	return &hi, resp.StatusCode == http.StatusOK, nil
+}
+
 // newIdempotencyKey generates one client-chosen submission identity.
 func newIdempotencyKey() string {
 	var b [16]byte
@@ -241,11 +273,19 @@ func newIdempotencyKey() string {
 // response was lost, the retry returns that same job (HTTP 200) instead
 // of creating a duplicate (202).
 func (c *Client) Submit(ctx context.Context, jr sweep.JobRequest) (*JobStatus, error) {
+	return c.SubmitKeyed(ctx, jr, newIdempotencyKey())
+}
+
+// SubmitKeyed is Submit with a caller-chosen Idempotency-Key. The fleet
+// router dispatches through this: routing and failover re-dispatch reuse
+// one key per fleet job, so a job re-sent to a survivor — or raced by two
+// re-dispatchers — resolves to a single backend job.
+func (c *Client) SubmitKeyed(ctx context.Context, jr sweep.JobRequest, key string) (*JobStatus, error) {
 	body, err := json.Marshal(jr)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", body, newIdempotencyKey())
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", body, key)
 	if err != nil {
 		return nil, err
 	}
@@ -344,8 +384,8 @@ func (c *Client) streamNDJSON(ctx context.Context, id, endpoint string, line fun
 		}
 		d := c.backoff(failures - 1)
 		c.logf("service: job %s %s stream: %v; resuming from line %d in %v", id, endpoint, err, delivered, d)
-		if serr := sleep(ctx, d); serr != nil {
-			return err
+		if serr := sleepBounded(ctx, d); serr != nil {
+			return errors.Join(serr, err)
 		}
 	}
 }

@@ -131,6 +131,42 @@ func TestClientHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// Regression: a Retry-After longer than the context's remaining deadline
+// must not be slept — the retry it defers could never be issued. The
+// client returns context.DeadlineExceeded promptly instead of blocking
+// until the server's figure elapses.
+func TestClientBackoffBoundedByDeadline(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "queue full (injected)"})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := fastRetry(srv)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, sweep.JobRequest{Scenario: "x"})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("submit against a permanently saturated server must fail")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error should surface the deadline: %v", err)
+	}
+	// Well under the server's 5s Retry-After: the client must not have
+	// slept past the 150ms deadline.
+	if elapsed > time.Second {
+		t.Errorf("returned after %v; backoff outlived the context deadline", elapsed)
+	}
+	// The original failure stays diagnosable alongside the deadline.
+	if !strings.Contains(err.Error(), "queue full") {
+		t.Errorf("last server error lost from %v", err)
+	}
+}
+
 // A submit whose response is lost after the server processed it is
 // retried under the same Idempotency-Key and resolves to the same job —
 // no duplicate work.

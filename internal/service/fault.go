@@ -8,14 +8,22 @@ import (
 )
 
 // Fault injection for crash-restart and resilience tests. The
-// GPUSIMPOW_FAULTPOINT environment variable names one faultpoint as
-// "<name>" or "<name>:<skip>": the named point fires exactly once, on its
-// (skip+1)-th hit. A firing point does whatever failure it models — the
-// journal crash point kills the process like a SIGKILL would (os.Exit
-// runs no deferred cleanup), the stream point severs the client's
-// connection mid-NDJSON-line, the reduce point panics inside the
-// scenario's reducer. Production daemons never set the variable, so every
-// faultpoint is a single branch on a cached string.
+// GPUSIMPOW_FAULTPOINT environment variable arms one faultpoint:
+//
+//	<name>                 fire once, on the 1st hit
+//	<name>:<skip>          fire once, on the (skip+1)-th hit (legacy form)
+//	<name>:skip=N          same, spelled out
+//	<name>:times=M         fire on hits 1..M
+//	<name>:skip=N:times=M  fire on hits N+1..N+M
+//
+// Counted triggers let fleet drills fault exactly one health probe or one
+// stream flush out of an ongoing series without killing every subsequent
+// one. A firing point does whatever failure it models — the journal crash
+// point kills the process like a SIGKILL would (os.Exit runs no deferred
+// cleanup), the stream point severs the client's connection
+// mid-NDJSON-line, the reduce point panics inside the scenario's reducer.
+// Production daemons never set the variable, so every faultpoint is a
+// single branch on a cached string.
 const (
 	// FaultCrashAfterJournalAppend kills the process immediately after a
 	// journal entry has been written — the tightest crash window recovery
@@ -27,7 +35,72 @@ const (
 	// FaultPanicInReduce panics inside the scenario's Reduce hook,
 	// exercising the report path's panic isolation.
 	FaultPanicInReduce = "panic-in-reduce"
+	// FaultBlackholeProbe makes the backend's /v1/healthz hang until the
+	// prober's timeout, exercising the router's dead-marking path without
+	// killing the backend.
+	FaultBlackholeProbe = "blackhole-probe"
+	// FaultSeverProxiedStream severs the router's proxied NDJSON stream
+	// after a line has been forwarded, exercising the router-side resume
+	// (distinct from a backend loss: the backend stays healthy).
+	FaultSeverProxiedStream = "sever-proxied-stream"
+	// FaultDropBackendMidStream makes the router abandon its backend
+	// connection mid-proxy and treat the backend as lost — the in-process
+	// stand-in for a backend dropping mid-job, forcing failover without
+	// killing any process.
+	FaultDropBackendMidStream = "drop-backend-mid-stream"
 )
+
+// faultSpec is one parsed GPUSIMPOW_FAULTPOINT value.
+type faultSpec struct {
+	name  string
+	skip  int // hits to let pass before firing
+	times int // consecutive hits that fire
+}
+
+// parseFaultSpec parses the faultpoint grammar above. ok is false for an
+// empty or malformed spec — a malformed spec arms nothing, it never
+// half-fires.
+func parseFaultSpec(spec string) (fs faultSpec, ok bool) {
+	parts := strings.Split(spec, ":")
+	if parts[0] == "" {
+		return faultSpec{}, false
+	}
+	fs = faultSpec{name: parts[0], times: 1}
+	for i, p := range parts[1:] {
+		key, val, hasEq := strings.Cut(p, "=")
+		if !hasEq {
+			// Legacy bare-number form, only valid as the sole option.
+			if i != 0 || len(parts) != 2 {
+				return faultSpec{}, false
+			}
+			n, err := strconv.Atoi(p)
+			if err != nil || n < 0 {
+				return faultSpec{}, false
+			}
+			fs.skip = n
+			return fs, true
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return faultSpec{}, false
+		}
+		switch key {
+		case "skip":
+			if n < 0 {
+				return faultSpec{}, false
+			}
+			fs.skip = n
+		case "times":
+			if n < 1 {
+				return faultSpec{}, false
+			}
+			fs.times = n
+		default:
+			return faultSpec{}, false
+		}
+	}
+	return fs, true
+}
 
 var (
 	faultMu   sync.Mutex
@@ -35,28 +108,33 @@ var (
 )
 
 // faultpoint reports whether the named point fires at this hit. Hits are
-// counted per name, so "name:3" arms the 4th hit; each point fires at
-// most once per process.
+// counted per name; with skip=N and times=M the point fires on hits
+// N+1..N+M and never again.
 func faultpoint(name string) bool {
 	spec := os.Getenv("GPUSIMPOW_FAULTPOINT")
 	if spec == "" {
 		return false
 	}
-	armed, skipStr, _ := strings.Cut(spec, ":")
-	if armed != name {
+	fs, ok := parseFaultSpec(spec)
+	if !ok || fs.name != name {
 		return false
-	}
-	skip := 0
-	if skipStr != "" {
-		n, err := strconv.Atoi(skipStr)
-		if err != nil || n < 0 {
-			return false
-		}
-		skip = n
 	}
 	faultMu.Lock()
 	faultHits[name]++
 	hit := faultHits[name]
 	faultMu.Unlock()
-	return hit == skip+1
+	return hit > fs.skip && hit <= fs.skip+fs.times
+}
+
+// Faultpoint is the exported faultpoint check for sibling packages
+// (internal/fleet injects router-side faults through the same
+// GPUSIMPOW_FAULTPOINT contract).
+func Faultpoint(name string) bool { return faultpoint(name) }
+
+// ResetFaultpoints clears all hit counters (test helper: lets one process
+// arm the same point across sequential sub-tests).
+func ResetFaultpoints() {
+	faultMu.Lock()
+	faultHits = map[string]int{}
+	faultMu.Unlock()
 }

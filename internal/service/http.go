@@ -86,12 +86,18 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	state, ok := s.m.Health()
+	if faultpoint(FaultBlackholeProbe) {
+		// Hang until the prober gives up — a hung (not refused) health
+		// check, the slow-failure mode circuit breakers exist for.
+		<-r.Context().Done()
+		return
+	}
+	hi, ok := s.m.HealthInfo()
 	code := http.StatusOK
 	if !ok {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]string{"status": state})
+	writeJSON(w, code, hi)
 }
 
 func (s *server) scenarios(w http.ResponseWriter, r *http.Request) {

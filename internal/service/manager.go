@@ -1017,6 +1017,35 @@ func (m *Manager) Health() (state string, ok bool) {
 	return "ok", true
 }
 
+// HealthInfo is the enriched GET /v1/healthz body: enough signal for a
+// fleet router to score backends (load, cache heat, drain state) instead
+// of treating health as a boolean. The bare 200/503 status-code contract
+// is unchanged — existing checks that only look at the code keep working.
+type HealthInfo struct {
+	Status   string         `json:"status"` // "ok", "draining", "closed"
+	Draining bool           `json:"draining,omitempty"`
+	Queued   int            `json:"queued"`  // submitted but not started
+	Running  int            `json:"running"` // currently executing
+	Jobs     int            `json:"jobs"`    // total retained (incl. terminal)
+	Cache    simcache.Stats `json:"cache"`   // process-wide simcache counters
+}
+
+// HealthInfo returns the enriched health payload; ok mirrors Health().
+func (m *Manager) HealthInfo() (HealthInfo, bool) {
+	state, ok := m.Health()
+	m.mu.Lock()
+	hi := HealthInfo{
+		Status:   state,
+		Draining: state != "ok",
+		Queued:   len(m.pending),
+		Running:  m.runningCount,
+		Jobs:     len(m.jobs),
+	}
+	m.mu.Unlock()
+	hi.Cache = simcache.Default().Stats()
+	return hi, ok
+}
+
 // Shutdown drains the manager gracefully: new submissions are rejected
 // with ErrDraining, queued jobs stay queued (persisted for the next
 // process), and running jobs get until ctx expires to finish — then they

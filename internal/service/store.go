@@ -1,14 +1,13 @@
 package service
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync"
 	"time"
 
+	"gpusimpow/internal/journal"
 	"gpusimpow/internal/simcache"
 	"gpusimpow/internal/sweep"
 )
@@ -22,22 +21,17 @@ import (
 // in submit order, and jobs that were running when the process died come
 // back as "interrupted" and re-execute bit-identically.
 //
-// Layout mirrors internal/simcache/disk.go: state lives under a
-// generation directory (<state-dir>/v<version>-<build fingerprint>/) so a
-// directory shared across simulator versions never replays state an
-// incompatible binary wrote; the snapshot is written atomically (temp
-// file + rename); and corruption is never fatal — a corrupt journal line
-// (including the torn tail a crash mid-write leaves) or an unreadable
-// snapshot is skipped, never a crash.
+// The I/O discipline (generation directory, torn-tail-tolerant journal,
+// atomic snapshot + truncate, no fsync by design) lives in
+// internal/journal, shared with the fleet router's routing table; this
+// file owns the job-shaped entry types and the idempotent fold.
 //
 // Write path: one journal line per event (submission, state transition,
-// cell record, memoized report, EWMA sample, forget). Lines are appended
-// without fsync — recovery targets process death (SIGKILL, panic, OOM),
-// where the page cache survives; power-loss durability is explicitly not
-// the contract. Compaction (at recovery, on prune evictions, and at
-// shutdown) folds everything into snapshot.json and truncates the
-// journal, which both bounds disk under -retain/-retain-age and clears
-// any torn tail so later appends cannot concatenate onto it.
+// cell record, memoized report, EWMA sample, forget). Compaction (at
+// recovery, on prune evictions, and at shutdown) folds everything into
+// snapshot.json and truncates the journal, which both bounds disk under
+// -retain/-retain-age and clears any torn tail so later appends cannot
+// concatenate onto it.
 //
 // Crash windows: the snapshot is renamed into place before the journal is
 // truncated, so a crash between the two leaves journal entries that are
@@ -132,56 +126,37 @@ type recoveredState struct {
 
 // Store is the journal + snapshot pair for one state directory.
 type Store struct {
-	mu      sync.Mutex
-	dir     string // generation directory
-	journal *os.File
-	// frozen drops all writes: set by Close, and by tests simulating the
-	// instant of process death (a frozen store is a dead process's disk).
-	frozen bool
+	dir string // generation directory
+	log *journal.Log
 }
 
-// openStore opens (creating if needed) the store under stateDir.
+// openStore opens (creating if needed) the store under stateDir. State
+// lives under a generation directory (<state-dir>/v<version>-<build
+// fingerprint>/, mirroring internal/simcache/disk.go) so a directory
+// shared across simulator versions never replays state an incompatible
+// binary wrote.
 func openStore(stateDir string) (*Store, error) {
 	dir := filepath.Join(stateDir, fmt.Sprintf("v%d-%s", storeVersion, simcache.Fingerprint()))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("service: state dir: %w", err)
-	}
-	j, err := os.OpenFile(filepath.Join(dir, "journal.ndjson"),
-		os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	l, err := journal.Open(dir)
 	if err != nil {
-		return nil, fmt.Errorf("service: journal: %w", err)
+		return nil, fmt.Errorf("service: %w", err)
 	}
-	return &Store{dir: dir, journal: j}, nil
+	l.AfterAppend = func() {
+		if faultpoint(FaultCrashAfterJournalAppend) {
+			fmt.Fprintln(os.Stderr, "gpowd: faultpoint crash-after-journal-append: dying")
+			os.Exit(137)
+		}
+	}
+	return &Store{dir: dir, log: l}, nil
 }
-
-func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.json") }
-func (s *Store) journalPath() string  { return filepath.Join(s.dir, "journal.ndjson") }
 
 // append writes one journal line. All failures are swallowed — durability
 // degrades, the daemon does not; the in-memory state still serves.
-func (s *Store) append(e journalEntry) {
-	b, err := json.Marshal(e)
-	if err != nil {
-		return
-	}
-	s.mu.Lock()
-	if !s.frozen && s.journal != nil {
-		_, _ = s.journal.Write(append(b, '\n'))
-	}
-	s.mu.Unlock()
-	if faultpoint(FaultCrashAfterJournalAppend) {
-		fmt.Fprintln(os.Stderr, "gpowd: faultpoint crash-after-journal-append: dying")
-		os.Exit(137)
-	}
-}
+func (s *Store) append(e journalEntry) { s.log.Append(e) }
 
 // freeze drops all future writes — the test stand-in for SIGKILL: what is
 // on disk now is exactly the crash image a killed process leaves.
-func (s *Store) freeze() {
-	s.mu.Lock()
-	s.frozen = true
-	s.mu.Unlock()
-}
+func (s *Store) freeze() { s.log.Freeze() }
 
 // recover reads the snapshot, folds the journal over it, and returns the
 // merged state. Corrupt snapshot: start empty. Corrupt journal line
@@ -192,43 +167,30 @@ func (s *Store) recover() *recoveredState {
 	byID := map[string]*storedJob{}
 	var order []string
 
-	if b, err := os.ReadFile(s.snapshotPath()); err == nil {
-		var snap snapshotFile
-		if json.Unmarshal(b, &snap) == nil && snap.Version == storeVersion {
-			rs.NextID = snap.NextID
-			rs.ETA = snap.ETA
-			for _, sj := range snap.Jobs {
-				if sj == nil || sj.ID == "" || byID[sj.ID] != nil {
-					continue
-				}
-				byID[sj.ID] = sj
-				order = append(order, sj.ID)
+	var snap snapshotFile
+	if s.log.Snapshot(&snap) && snap.Version == storeVersion {
+		rs.NextID = snap.NextID
+		rs.ETA = snap.ETA
+		for _, sj := range snap.Jobs {
+			if sj == nil || sj.ID == "" || byID[sj.ID] != nil {
+				continue
 			}
+			byID[sj.ID] = sj
+			order = append(order, sj.ID)
 		}
 	}
 
-	if f, err := os.Open(s.journalPath()); err == nil {
-		r := bufio.NewReader(f)
-		for {
-			line, err := r.ReadBytes('\n')
-			atEOF := err != nil
-			if len(line) > 0 {
-				var e journalEntry
-				if json.Unmarshal(line, &e) != nil {
-					// Corrupt or torn line: skip. A torn line can only be
-					// the journal's tail (appends are single writes), so
-					// nothing after it is lost.
-					rs.Skipped++
-				} else {
-					applyEntry(&e, byID, &order, rs)
-				}
-			}
-			if atEOF {
-				break
-			}
+	s.log.Replay(func(line []byte) {
+		var e journalEntry
+		if json.Unmarshal(line, &e) != nil {
+			// Corrupt or torn line: skip. A torn line can only be the
+			// journal's tail (appends are single writes), so nothing after
+			// it is lost.
+			rs.Skipped++
+			return
 		}
-		f.Close()
-	}
+		applyEntry(&e, byID, &order, rs)
+	})
 
 	for _, id := range order {
 		rs.Jobs = append(rs.Jobs, byID[id])
@@ -316,55 +278,11 @@ func jobNumber(id string) int {
 // compact atomically replaces the snapshot with snap and truncates the
 // journal. Failures leave the previous snapshot + journal intact — the
 // store keeps appending and the next compaction retries.
-func (s *Store) compact(snap *snapshotFile) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.frozen {
-		return
-	}
-	b, err := json.MarshalIndent(snap, "", " ")
-	if err != nil {
-		return
-	}
-	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
-	if err != nil {
-		return
-	}
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := os.Rename(tmp.Name(), s.snapshotPath()); err != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	// Snapshot is durable; the journal's contents are now redundant.
-	// (Crash before this truncate: replaying the stale entries over the
-	// new snapshot is idempotent — see the file comment.)
-	if s.journal != nil {
-		_ = s.journal.Truncate(0)
-	}
-}
+func (s *Store) compact(snap *snapshotFile) { s.log.Compact(snap) }
 
 // close freezes the store and closes the journal.
-func (s *Store) close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.frozen = true
-	if s.journal != nil {
-		s.journal.Close()
-		s.journal = nil
-	}
-}
+func (s *Store) close() { s.log.Close() }
 
 // journalBytes is a test helper view of the journal (what a crash would
 // leave on disk at this instant).
-func (s *Store) journalBytes() []byte {
-	b, _ := os.ReadFile(s.journalPath())
-	return b
-}
+func (s *Store) journalBytes() []byte { return s.log.JournalBytes() }

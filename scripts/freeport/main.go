@@ -1,0 +1,25 @@
+// Command freeport prints one free loopback TCP port and exits. The CI
+// scripts use it to pre-pick ports a daemon must come back up on after a
+// crash (a restarted process can't scrape its old port from a log), so
+// ci-service, ci-restart and ci-fleet can run concurrently without a
+// fixed-port collision. The port is only reserved while this process
+// holds it — the usual bind-print-close race — which is fine for CI:
+// the window is microseconds and the scripts fail loudly on a collision.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+)
+
+func main() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "freeport:", err)
+		os.Exit(1)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	fmt.Println(port)
+}

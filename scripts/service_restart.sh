@@ -3,11 +3,12 @@
 # full fault-tolerance chain end to end.
 #
 #   1. Run the scenario in-process: the uninterrupted ground truth.
-#   2. Start gpowd with -state-dir and the crash-after-journal-append
-#      faultpoint armed to fire on the 4th journal append — submission,
-#      the running transition, and the first cell record land on disk,
-#      then the daemon dies (exit 137) while journaling the second cell,
-#      mid-stream from the client's point of view.
+#   2. Start gpowd on a pre-picked ephemeral port with -state-dir and
+#      the crash-after-journal-append faultpoint armed to fire on the
+#      4th journal append — submission, the running transition, and the
+#      first cell record land on disk, then the daemon dies (exit 137)
+#      while journaling the second cell, mid-stream from the client's
+#      point of view.
 #   3. A backgrounded `gpowexp -remote run -json` rides through the
 #      outage: its self-healing client backs off, reconnects, and
 #      resumes the cell stream with ?from=N.
@@ -18,6 +19,8 @@
 #      byte, then diff the recovered daemon's reduced report
 #      (gpowexp report job-1 -json) the same way.
 set -eu
+
+. ./scripts/service_lib.sh
 
 scenario=${1:-ablation-processnode}
 tmp=$(mktemp -d)
@@ -36,49 +39,25 @@ go build -o "$tmp/gpowexp" ./cmd/gpowexp
 "$tmp/gpowexp" run "$scenario" -json >"$tmp/local.ndjson"
 "$tmp/gpowexp" run "$scenario" -report-json >"$tmp/local-report.json"
 
+# The port is picked up front (not scraped from :0) because the restarted
+# daemon must come back on the address the riding client already knows.
+port=$(pick_port)
+
 # First daemon: armed to die journaling the second cell record.
 GPUSIMPOW_FAULTPOINT=crash-after-journal-append:3 \
-    "$tmp/gpowd" -addr 127.0.0.1:0 -state-dir "$tmp/state" 2>"$tmp/gpowd1.log" &
+    "$tmp/gpowd" -addr "127.0.0.1:$port" -state-dir "$tmp/state" 2>"$tmp/gpowd1.log" &
 pid=$!
-
-addr=""
-i=0
-while [ $i -lt 100 ]; do
-    addr=$(sed -n 's/.*listening on \(http:[^ ]*\).*/\1/p' "$tmp/gpowd1.log" | head -1)
-    [ -n "$addr" ] && break
-    if ! kill -0 "$pid" 2>/dev/null; then
-        echo "service restart: gpowd exited early:" >&2
-        cat "$tmp/gpowd1.log" >&2
-        exit 1
-    fi
-    sleep 0.1
-    i=$((i + 1))
-done
-if [ -z "$addr" ]; then
-    echo "service restart: gpowd never reported its address" >&2
-    cat "$tmp/gpowd1.log" >&2
-    exit 1
-fi
+addr=$(wait_listen "$tmp/gpowd1.log" "$pid" "service restart: gpowd")
 
 "$tmp/gpowexp" -remote "$addr" run "$scenario" -json >"$tmp/remote.ndjson" 2>"$tmp/client.log" &
 client_pid=$!
 
 # The faultpoint kills the daemon mid-job; wait for it to die.
-i=0
-while kill -0 "$pid" 2>/dev/null; do
-    if [ $i -ge 300 ]; then
-        echo "service restart: faultpoint never fired (daemon still up)" >&2
-        exit 1
-    fi
-    sleep 0.1
-    i=$((i + 1))
-done
-wait "$pid" 2>/dev/null || true
+wait_dead "$pid" "service restart: gpowd"
 pid=""
 
 # Second daemon: same port, same state dir, faultpoint disarmed. The
 # journal must yield the interrupted job for deterministic re-execution.
-port=${addr##*:}
 "$tmp/gpowd" -addr "127.0.0.1:$port" -state-dir "$tmp/state" 2>"$tmp/gpowd2.log" &
 pid=$!
 

@@ -1,12 +1,15 @@
 #!/bin/sh
 # Service smoke test for `make ci`: build the daemon and the experiment
-# CLI, start gpowd on a loopback port, run the cheapest sweep scenario
-# both in-process and through the daemon, and diff (1) the streamed
-# NDJSON cell records and (2) the reduced report JSON (in-process
-# sweep.BuildReport vs the daemon's GET /v1/jobs/{id}/report) byte for
-# byte. The two paths share one wire layer (internal/sweep CellRecord /
-# Report) and one determinism contract, so any difference is a bug.
+# CLI, start gpowd on an ephemeral loopback port, run the cheapest sweep
+# scenario both in-process and through the daemon, and diff (1) the
+# streamed NDJSON cell records and (2) the reduced report JSON
+# (in-process sweep.BuildReport vs the daemon's GET
+# /v1/jobs/{id}/report) byte for byte. The two paths share one wire
+# layer (internal/sweep CellRecord / Report) and one determinism
+# contract, so any difference is a bug.
 set -eu
+
+. ./scripts/service_lib.sh
 
 scenario=${1:-ablation-processnode}
 tmp=$(mktemp -d)
@@ -22,25 +25,7 @@ go build -o "$tmp/gpowexp" ./cmd/gpowexp
 
 "$tmp/gpowd" -addr 127.0.0.1:0 2>"$tmp/gpowd.log" &
 pid=$!
-
-addr=""
-i=0
-while [ $i -lt 100 ]; do
-    addr=$(sed -n 's/.*listening on \(http:[^ ]*\).*/\1/p' "$tmp/gpowd.log" | head -1)
-    [ -n "$addr" ] && break
-    if ! kill -0 "$pid" 2>/dev/null; then
-        echo "service smoke: gpowd exited early:" >&2
-        cat "$tmp/gpowd.log" >&2
-        exit 1
-    fi
-    sleep 0.1
-    i=$((i + 1))
-done
-if [ -z "$addr" ]; then
-    echo "service smoke: gpowd never reported its address" >&2
-    cat "$tmp/gpowd.log" >&2
-    exit 1
-fi
+addr=$(wait_listen "$tmp/gpowd.log" "$pid" "service smoke: gpowd")
 
 "$tmp/gpowexp" run "$scenario" -json >"$tmp/local.ndjson"
 "$tmp/gpowexp" -remote "$addr" run "$scenario" -json >"$tmp/remote.ndjson"
