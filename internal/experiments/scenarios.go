@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"gpusimpow/internal/sweep"
@@ -252,8 +253,15 @@ func reduceFig4(_ []*sweep.CellRecord, _ sweep.Filter) (*sweep.Report, error) {
 
 // fig6CheckFilter restricts Figure 6 filtering to whole sub-figures:
 // non-gpu axes (e.g. bench=...) would silently bias the error aggregates.
+// Axes are checked in sorted order so the reported offender is stable
+// across runs (map order would pick one at random).
 func fig6CheckFilter(f sweep.Filter) error {
+	axes := make([]string, 0, len(f))
 	for axis := range f {
+		axes = append(axes, axis)
+	}
+	sort.Strings(axes)
+	for _, axis := range axes {
 		if axis != "gpu" {
 			return fmt.Errorf("experiments: fig6 filters on gpu only (got %s=...)", axis)
 		}

@@ -27,6 +27,7 @@ package sweep
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"gpusimpow/internal/config"
@@ -235,8 +236,16 @@ func ParseFilter(args []string) (Filter, error) {
 
 // validate checks the filter against the spec's axes: unknown axes and
 // unknown value names are errors (a typo must not silently select nothing).
+// Axes are checked in sorted order so a filter with several offending axes
+// reports the same one on every run (map order would pick one at random).
 func (f Filter) validate(s *Spec) error {
-	for axis, vals := range f {
+	axes := make([]string, 0, len(f))
+	for axis := range f {
+		axes = append(axes, axis)
+	}
+	sort.Strings(axes)
+	for _, axis := range axes {
+		vals := f[axis]
 		var ax *Axis
 		for i := range s.Axes {
 			if s.Axes[i].Name == axis {
