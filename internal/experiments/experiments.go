@@ -165,10 +165,8 @@ func microFPBusy(card *hw.Card) (*kernel.Launch, *kernel.GlobalMem) {
 }
 
 func cardCores(card *hw.Card) int {
-	for name, mk := range config.Presets() {
-		if name == card.Name() {
-			return mk().NumCores()
-		}
+	if mk, ok := config.Presets()[card.Name()]; ok {
+		return mk().NumCores()
 	}
 	return 12
 }
