@@ -113,26 +113,28 @@ type Cache struct {
 	bypasses  atomic.Uint64 // atomic: the bypass path must not contend on mu
 }
 
-// Stats is a point-in-time snapshot of cache effectiveness counters.
+// Stats is a point-in-time snapshot of cache effectiveness counters. It
+// crosses the wire inside the service's /v1/healthz body, so every field
+// carries an explicit json name (enforced by gpowlint's wirejson pass).
 type Stats struct {
 	// Entries is the number of distinct timing results stored.
-	Entries int
+	Entries int `json:"entries"`
 	// Bytes is the accounted size of the stored final-image snapshots.
-	Bytes int64
+	Bytes int64 `json:"bytes"`
 	// BudgetBytes is the configured byte budget (0 = unbounded).
-	BudgetBytes int64
+	BudgetBytes int64 `json:"budgetBytes"`
 	// Hits counts runs served from the store, the disk spill or a
 	// single-flight wait.
-	Hits uint64
+	Hits uint64 `json:"hits"`
 	// Misses counts runs that actually simulated.
-	Misses uint64
+	Misses uint64 `json:"misses"`
 	// DiskHits counts runs served by loading a spilled entry from the
 	// configured cache directory (a subset of Hits).
-	DiskHits uint64
+	DiskHits uint64 `json:"diskHits"`
 	// Evictions counts entries dropped to honor the byte budget.
-	Evictions uint64
+	Evictions uint64 `json:"evictions"`
 	// Bypasses counts runs that skipped the cache (DisableSimCache knob).
-	Bypasses uint64
+	Bypasses uint64 `json:"bypasses"`
 }
 
 // shared is the process-wide cache every Simulator and virtual Card runs
