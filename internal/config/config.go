@@ -132,6 +132,12 @@ type GPU struct {
 // event-driven and dense clock loops are bit-identical (enforced by the sim
 // package's equivalence tests), and the cache knob must not change what is
 // simulated.
+//
+// The partition is machine-checked twice: gpowlint's timingpartition pass
+// cross-references the fields internal/sim and internal/core actually read
+// against this encoding and the explicit lists in partition.go, and
+// TestTimingPartitionExhaustive perturbs every field asserting the key
+// moves exactly for the encoded ones. See docs/LINTS.md.
 // ---------------------------------------------------------------------------
 
 // TimingKey returns a stable content hash over the timing-relevant fields:
@@ -143,8 +149,10 @@ func (g *GPU) TimingKey() [32]byte {
 }
 
 // timingKeyVersion invalidates all keys when the encoding (or the set of
-// timing-relevant fields) changes.
-const timingKeyVersion = 1
+// timing-relevant fields) changes. v2: dropped MaxThreadsPerCore — it is
+// validation-derived (Validate pins it to MaxWarpsPerCore*WarpSize) and no
+// timing-side code reads it, so keying it was dead material.
+const timingKeyVersion = 2
 
 // appendTimingFields appends a fixed-order binary encoding of every field
 // the performance simulator reads. Field order is load-bearing; integers are
@@ -174,7 +182,6 @@ func (g *GPU) appendTimingFields(b []byte) []byte {
 	i(g.WarpSize)
 	i(g.MaxWarpsPerCore)
 	i(g.MaxBlocksPerCore)
-	i(g.MaxThreadsPerCore)
 	i(g.RegsPerCore)
 	i(g.Schedulers)
 	s(g.SchedulerPolicy)
