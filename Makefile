@@ -1,17 +1,25 @@
 # GPUSimPow reproduction — build/test/benchmark entry points.
 #
-# `make ci` is the gate every change must pass: vet, build, and the full
-# test suite under the race detector (load-bearing since the experiment
-# sweeps fan out over internal/runner's worker pool).
+# `make ci` is the gate every change must pass: vet, the repo-specific
+# lints, build, and the full test suite under the race detector
+# (load-bearing since the experiment sweeps fan out over
+# internal/runner's worker pool).
 
 GO ?= go
 
-.PHONY: ci vet build test race bench baseline bench-compare ci-bench ci-service ci-restart ci-fleet fmt-check golden-update
+.PHONY: ci vet lint build test race bench baseline bench-compare ci-bench ci-service ci-restart ci-fleet fmt-check golden-update
 
-ci: fmt-check vet build race ci-bench ci-service ci-restart ci-fleet
+ci: fmt-check vet lint build race ci-bench ci-service ci-restart ci-fleet
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis (cmd/gpowlint): the determinism and
+# cache-partition invariants go vet cannot see — timing-key coverage,
+# map-iteration order, wall-clock reads, wire-struct json tags, faultpoint
+# name drift. See docs/LINTS.md.
+lint:
+	$(GO) run ./cmd/gpowlint
 
 # gofmt gate: any file gofmt would rewrite fails CI.
 fmt-check:

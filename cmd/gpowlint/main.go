@@ -1,0 +1,105 @@
+// Command gpowlint is the repo-specific static analyzer suite: it
+// type-checks the whole module (standard library only — go/parser, go/ast,
+// go/types) and enforces the determinism and cache-partition invariants
+// that the runtime equivalence tests can only catch after the fact. See
+// docs/LINTS.md for the pass catalog; `make lint` runs it as part of
+// `make ci`.
+//
+// Output is go vet style (file:line:col: message [pass]). The exit status
+// is 1 when any non-warning finding exists (or 2 on operational errors);
+// warnings print but pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpusimpow/internal/analysis"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	passes := flag.String("passes", "", "comma-separated pass subset (default: all)")
+	werror := flag.Bool("werror", false, "treat warnings as errors")
+	list := flag.Bool("list", false, "list the passes and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gpowlint [-root dir] [-passes p1,p2] [-werror]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, p := range analysis.Passes() {
+			fmt.Printf("%-16s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+		dir, err = findModuleRoot(wd)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var names []string
+	if *passes != "" {
+		known := map[string]bool{}
+		for _, p := range analysis.Passes() {
+			known[p.Name] = true
+		}
+		for _, n := range strings.Split(*passes, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if !known[n] {
+				fatal(fmt.Errorf("unknown pass %q (run gpowlint -list)", n))
+			}
+			names = append(names, n)
+		}
+	}
+
+	findings, err := analysis.Run(dir, names)
+	if err != nil {
+		fatal(err)
+	}
+	failed := false
+	for i := range findings {
+		f := &findings[i]
+		fmt.Fprintln(os.Stderr, f.String(dir))
+		if !f.Warning || *werror {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward to the nearest directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("gpowlint: no go.mod at or above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpowlint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// detrange forbids ranging over a map in the deterministic packages: map
+// iteration order is randomized per run, so any result, error message or
+// output derived from it is nondeterministic (the PR 1 texture-line-dedup
+// incident was exactly this class). Two escapes:
+//
+//   - the canonical collect-then-sort idiom is recognized: a loop whose
+//     body only appends the key/value to a slice that is later passed to a
+//     sort.* / slices.Sort* call in the same function;
+//   - a `//gpowlint:unordered` comment on the range statement (or the line
+//     above) waives the check for loops that are genuinely order-free
+//     (pure set membership, counting into another map). The waiver is the
+//     documentation that someone thought about it.
+//
+// Test files are exempt: they assert determinism, they do not produce it.
+func runDetRange(m *Module) []Finding {
+	var out []Finding
+	for _, pkg := range m.SortedPkgs() {
+		if !inDeterministicPkg(pkg.RelPath) || pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			dirs := lineDirectives(m.Fset, f)
+			// Walk with enclosing-function tracking so the sorted-later
+			// heuristic knows where to look.
+			var walk func(n ast.Node, fnBody *ast.BlockStmt)
+			walk = func(n ast.Node, fnBody *ast.BlockStmt) {
+				ast.Inspect(n, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.FuncDecl:
+						if n.Body != nil {
+							walk(n.Body, n.Body)
+						}
+						return false
+					case *ast.FuncLit:
+						walk(n.Body, n.Body)
+						return false
+					case *ast.RangeStmt:
+						tv, ok := pkg.Info.Types[n.X]
+						if !ok {
+							return true
+						}
+						if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+							return true
+						}
+						pos := m.Fset.Position(n.Pos())
+						if hasDirective(dirs, pos.Line, "unordered") {
+							return true
+						}
+						if isCollectThenSort(pkg, n, fnBody) {
+							return true
+						}
+						out = append(out, Finding{Pos: pos, Pass: "detrange",
+							Msg: fmt.Sprintf("range over map %s iterates in nondeterministic order: sort the keys first or waive with //gpowlint:unordered", types.TypeString(tv.Type, types.RelativeTo(pkg.Types)))})
+					}
+					return true
+				})
+			}
+			walk(f, nil)
+		}
+	}
+	return out
+}
+
+// isCollectThenSort recognizes the collect-then-sort idiom: every statement
+// in the loop body appends the range's key/value (or expressions built from
+// them) to slice variables, and each such slice is sorted after the loop in
+// the same function body.
+func isCollectThenSort(pkg *Package, rng *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	if fnBody == nil || len(rng.Body.List) == 0 {
+		return false
+	}
+	var collected []types.Object
+	for _, stmt := range rng.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pkg.Info.Uses[lhs]
+		if obj == nil {
+			obj = pkg.Info.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		// append's first arg must be the same slice being assigned.
+		if arg0, ok := call.Args[0].(*ast.Ident); !ok || pkg.Info.Uses[arg0] != obj {
+			return false
+		}
+		collected = append(collected, obj)
+	}
+	for _, obj := range collected {
+		if !sortedAfter(pkg, obj, rng, fnBody) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether obj appears as an argument to a sort.* or
+// slices.* call positioned after the range statement within the function
+// body.
+func sortedAfter(pkg *Package, obj types.Object, rng *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pkg.Info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

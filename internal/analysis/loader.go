@@ -1,0 +1,271 @@
+// Package analysis is gpowlint's engine: a standard-library-only static
+// analyzer (go/parser, go/ast, go/types — no external modules) that
+// type-checks the whole module and runs the repo-specific passes enforcing
+// the determinism and cache-partition invariants. See docs/LINTS.md for
+// what each pass guarantees and why.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded module package: parsed syntax plus (for non-test
+// files) full type information. Test files are parsed but not type-checked
+// — the passes that consult them (faultpoint cross-referencing) work
+// syntactically, which keeps the loader free of external test-package
+// plumbing.
+type Package struct {
+	// RelPath is the module-relative import path ("" for the root package,
+	// "internal/sim", ...).
+	RelPath string
+	// Dir is the package directory on disk.
+	Dir string
+	// Files are the non-test files, in deterministic (name-sorted) order.
+	Files []*ast.File
+	// TestFiles are the _test.go files (in-package and external), parsed
+	// only.
+	TestFiles []*ast.File
+	// Types and Info hold the type-checker's results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the fully loaded target: every package of one Go module.
+type Module struct {
+	// Root is the module root directory (where go.mod lives).
+	Root string
+	// Path is the module path from go.mod.
+	Path string
+	// Fset is the shared position table for every parsed file.
+	Fset *token.FileSet
+	// Pkgs maps module-relative paths to loaded packages.
+	Pkgs map[string]*Package
+}
+
+// Pkg returns the package at the module-relative path, or nil.
+func (m *Module) Pkg(rel string) *Package { return m.Pkgs[rel] }
+
+// SortedPkgs returns the packages in deterministic path order.
+func (m *Module) SortedPkgs() []*Package {
+	rels := make([]string, 0, len(m.Pkgs))
+	for rel := range m.Pkgs {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	out := make([]*Package, len(rels))
+	for i, rel := range rels {
+		out[i] = m.Pkgs[rel]
+	}
+	return out
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Load parses and type-checks every package under root (the directory
+// containing go.mod). Stdlib imports are type-checked from GOROOT source via
+// the standard source importer; module-internal imports resolve to the
+// module's own directories. testdata, hidden and vendor directories are
+// skipped, as are directories without Go files.
+func Load(root string) (*Module, error) {
+	gomod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	mpath := modulePath(gomod)
+	if mpath == "" {
+		return nil, fmt.Errorf("analysis: no module path in %s/go.mod", root)
+	}
+	m := &Module{Root: root, Path: mpath, Fset: token.NewFileSet(), Pkgs: map[string]*Package{}}
+
+	// Discover package directories.
+	var rels []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					rel = ""
+				}
+				rels = append(rels, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	sort.Strings(rels)
+
+	// Parse every discovered package up front (shared fileset, deterministic
+	// file order), then type-check on demand through a module-aware importer.
+	for _, rel := range rels {
+		pkg, err := m.parseDir(rel)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			m.Pkgs[rel] = pkg
+		}
+	}
+
+	ld := &loader{m: m, src: importer.ForCompiler(m.Fset, "source", nil), cache: map[string]*types.Package{}}
+	for _, rel := range rels {
+		if m.Pkgs[rel] == nil {
+			continue
+		}
+		if _, err := ld.loadModulePkg(rel); err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", m.importPath(rel), err)
+		}
+	}
+	return m, nil
+}
+
+// importPath maps a module-relative path to its import path.
+func (m *Module) importPath(rel string) string {
+	if rel == "" {
+		return m.Path
+	}
+	return m.Path + "/" + rel
+}
+
+// relOfImport maps an import path of this module to its relative path
+// (ok=false for foreign imports).
+func (m *Module) relOfImport(path string) (string, bool) {
+	if path == m.Path {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(path, m.Path+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// parseDir parses one package directory. Returns nil when the directory
+// holds only test files of a foreign package (cannot happen in practice) or
+// no buildable files.
+func (m *Module) parseDir(rel string) (*Package, error) {
+	dir := filepath.Join(m.Root, filepath.FromSlash(rel))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	pkg := &Package{RelPath: rel, Dir: dir}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			pkg.Files = append(pkg.Files, f)
+		}
+	}
+	if len(pkg.Files) == 0 && len(pkg.TestFiles) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// loader type-checks module packages recursively, delegating stdlib imports
+// to the source importer.
+type loader struct {
+	m     *Module
+	src   types.Importer
+	cache map[string]*types.Package
+	stack []string // import cycle detection
+}
+
+// Import implements types.Importer for the type-checker's import clause
+// resolution.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.cache[path]; ok {
+		return p, nil
+	}
+	if rel, ok := ld.m.relOfImport(path); ok {
+		return ld.loadModulePkg(rel)
+	}
+	p, err := ld.src.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	ld.cache[path] = p
+	return p, nil
+}
+
+// loadModulePkg type-checks one module package (idempotent).
+func (ld *loader) loadModulePkg(rel string) (*types.Package, error) {
+	path := ld.m.importPath(rel)
+	if p, ok := ld.cache[path]; ok {
+		return p, nil
+	}
+	pkg := ld.m.Pkgs[rel]
+	if pkg == nil {
+		return nil, fmt.Errorf("import %q: no such module package", path)
+	}
+	for _, s := range ld.stack {
+		if s == path {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+	}
+	ld.stack = append(ld.stack, path)
+	defer func() { ld.stack = ld.stack[:len(ld.stack)-1] }()
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: ld}
+	tp, err := conf.Check(path, ld.m.Fset, pkg.Files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Types = tp
+	pkg.Info = info
+	ld.cache[path] = tp
+	return tp, nil
+}

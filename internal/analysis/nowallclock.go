@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// nowallclock forbids wall-clock reads and the globally-seeded math/rand
+// generators in the deterministic packages: a simulation result, sweep
+// record or report that depends on either cannot be replayed bit-identically
+// from the simcache or re-executed identically after a crash. service,
+// fleet and hw are exempt by design (timeouts, backoff jitter, and the
+// card's explicitly-seeded DAQ noise streams live there). Test files are
+// exempt: deadlines in tests are harness plumbing, not results.
+//
+// Banned: time.Now, time.Since, time.Until, and every package-level
+// math/rand (and math/rand/v2) function — those draw from the
+// randomly-seeded global generator. Explicit generators (rand.New,
+// rand.NewSource, rand.NewPCG, ...) stay legal: a caller constructing one
+// chooses its seed, which is exactly the determinism contract.
+func runNoWallClock(m *Module) []Finding {
+	bannedTime := map[string]bool{"Now": true, "Since": true, "Until": true}
+	allowedRand := map[string]bool{
+		"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+	}
+	var out []Finding
+	for _, pkg := range m.SortedPkgs() {
+		if !inDeterministicPkg(pkg.RelPath) || pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkgID, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pkg.Info.Uses[pkgID].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				path := pn.Imported().Path()
+				name := sel.Sel.Name
+				switch {
+				case path == "time" && bannedTime[name]:
+					out = append(out, Finding{Pos: m.Fset.Position(sel.Pos()), Pass: "nowallclock",
+						Msg: fmt.Sprintf("time.%s in a deterministic package: results must not depend on wall-clock time", name)})
+				case (path == "math/rand" || path == "math/rand/v2") && !allowedRand[name]:
+					if _, isFunc := pkg.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+						return true // types (rand.Rand, rand.Source) are fine
+					}
+					out = append(out, Finding{Pos: m.Fset.Position(sel.Pos()), Pass: "nowallclock",
+						Msg: fmt.Sprintf("rand.%s uses the globally-seeded generator in a deterministic package: construct an explicitly-seeded rand.New(...) instead", name)})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

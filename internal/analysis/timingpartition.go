@@ -1,0 +1,377 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// timingpartition cross-references the simcache key partition:
+//
+//   - every config.GPU field the timing side (internal/sim and
+//     internal/core) reads — directly or through a config.GPU method —
+//     must be encoded by appendTimingFields, unless the config package
+//     declares it timing-neutral (timingNeutralFields: knobs proven
+//     bit-identical, like DenseClock);
+//   - a field declared power-only (powerOnlyFields) that timing-side code
+//     reads is a cache-corruption bug: two configs differing only in that
+//     field share a simcache key but would simulate differently;
+//   - a field appendTimingFields encodes that no timing-side code reads is
+//     a warning (dead key material — it fragments the cache for nothing);
+//   - every GPU field must be classified: encoded by appendTimingFields,
+//     listed in powerOnlyFields, or listed in timingNeutralFields —
+//     exactly one of the three. (The reflection test in internal/config
+//     checks the same partition behaviorally, by perturbing fields and
+//     watching the key.)
+//
+// Removing a field from appendTimingFields that internal/sim reads
+// therefore fails lint with no change anywhere else.
+
+const (
+	configPkg        = "internal/config"
+	gpuTypeName      = "GPU"
+	timingKeyFunc    = "appendTimingFields"
+	powerOnlyVar     = "powerOnlyFields"
+	timingNeutralVar = "timingNeutralFields"
+)
+
+// timingSidePkgs are the packages whose config.GPU reads must stay inside
+// the timing key partition.
+var timingSidePkgs = []string{"internal/sim", "internal/core"}
+
+// gpuMethodSkip are config.GPU methods whose field reads are not
+// timing-semantic: validation and serialization touch every field by
+// design.
+var gpuMethodSkip = map[string]bool{
+	timingKeyFunc: true, "TimingKey": true, "Validate": true,
+	"WriteXML": true, "SaveFile": true, "String": true,
+}
+
+func runTimingPartition(m *Module) []Finding {
+	pass := "timingpartition"
+	cfg := m.Pkg(configPkg)
+	if cfg == nil || cfg.Types == nil {
+		return []Finding{{Pass: pass, Msg: fmt.Sprintf("no %s package in module %s", configPkg, m.Path)}}
+	}
+	gpuObj, ok := cfg.Types.Scope().Lookup(gpuTypeName).(*types.TypeName)
+	if !ok {
+		return []Finding{{Pass: pass, Msg: fmt.Sprintf("%s: no type %s", configPkg, gpuTypeName)}}
+	}
+	gpuStruct, ok := gpuObj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return []Finding{{Pass: pass, Msg: fmt.Sprintf("%s.%s is not a struct", configPkg, gpuTypeName)}}
+	}
+
+	var out []Finding
+
+	// All declared GPU fields (XMLName is xml plumbing, never classified).
+	fieldPos := map[string]token.Position{}
+	var fieldOrder []string
+	for i := 0; i < gpuStruct.NumFields(); i++ {
+		f := gpuStruct.Field(i)
+		if f.Name() == "XMLName" {
+			continue
+		}
+		fieldOrder = append(fieldOrder, f.Name())
+		fieldPos[f.Name()] = m.Fset.Position(f.Pos())
+	}
+	isField := map[string]bool{}
+	for _, n := range fieldOrder {
+		isField[n] = true
+	}
+
+	// Encoded set: field selections on the receiver inside appendTimingFields.
+	encoded := map[string]token.Position{}
+	var keyFuncPos token.Position
+	forEachGPUMethod(cfg, gpuObj, func(fd *ast.FuncDecl) {
+		if fd.Name.Name != timingKeyFunc {
+			return
+		}
+		keyFuncPos = m.Fset.Position(fd.Pos())
+		for name, pos := range gpuFieldReads(m, cfg, gpuObj, fd.Body) {
+			encoded[name] = pos
+		}
+	})
+	if keyFuncPos.Filename == "" {
+		return []Finding{{Pass: pass, Msg: fmt.Sprintf("%s: no method %s.%s", configPkg, gpuTypeName, timingKeyFunc)}}
+	}
+
+	// Declared classification lists.
+	powerOnly, poFound := stringListVar(m, cfg, powerOnlyVar)
+	neutral, tnFound := stringListVar(m, cfg, timingNeutralVar)
+	if !poFound {
+		out = append(out, Finding{Pos: keyFuncPos, Pass: pass,
+			Msg: fmt.Sprintf("%s: missing var %s (the explicit power-only field list)", configPkg, powerOnlyVar)})
+	}
+	if !tnFound {
+		out = append(out, Finding{Pos: keyFuncPos, Pass: pass,
+			Msg: fmt.Sprintf("%s: missing var %s (the explicit timing-neutral field list)", configPkg, timingNeutralVar)})
+	}
+	inList := func(list []listEntry, name string) bool {
+		for _, e := range list {
+			if e.name == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range powerOnly {
+		if !isField[e.name] {
+			out = append(out, Finding{Pos: e.pos, Pass: pass,
+				Msg: fmt.Sprintf("%s lists %q, which is not a %s.%s field", powerOnlyVar, e.name, configPkg, gpuTypeName)})
+		}
+	}
+	for _, e := range neutral {
+		if !isField[e.name] {
+			out = append(out, Finding{Pos: e.pos, Pass: pass,
+				Msg: fmt.Sprintf("%s lists %q, which is not a %s.%s field", timingNeutralVar, e.name, configPkg, gpuTypeName)})
+		}
+	}
+
+	// Exhaustiveness: every field in exactly one class.
+	for _, name := range fieldOrder {
+		_, enc := encoded[name]
+		po := inList(powerOnly, name)
+		tn := inList(neutral, name)
+		n := 0
+		for _, b := range []bool{enc, po, tn} {
+			if b {
+				n++
+			}
+		}
+		switch {
+		case n == 0:
+			out = append(out, Finding{Pos: fieldPos[name], Pass: pass,
+				Msg: fmt.Sprintf("field %s is unclassified: encode it in %s or add it to %s/%s", name, timingKeyFunc, powerOnlyVar, timingNeutralVar)})
+		case n > 1:
+			out = append(out, Finding{Pos: fieldPos[name], Pass: pass,
+				Msg: fmt.Sprintf("field %s has conflicting classifications (encoded=%v %s=%v %s=%v); pick one", name, enc, powerOnlyVar, po, timingNeutralVar, tn)})
+		}
+	}
+
+	// Field reads of each (non-skipped) GPU method, with a transitive
+	// closure over method-to-method calls, so cfg.NumCores() counts as
+	// reading Clusters and CoresPerCluster at the call site.
+	methodReads := map[string]map[string]bool{}
+	methodCalls := map[string]map[string]bool{}
+	forEachGPUMethod(cfg, gpuObj, func(fd *ast.FuncDecl) {
+		name := fd.Name.Name
+		if gpuMethodSkip[name] {
+			return
+		}
+		reads := map[string]bool{}
+		for f := range gpuFieldReads(m, cfg, gpuObj, fd.Body) {
+			reads[f] = true
+		}
+		methodReads[name] = reads
+		methodCalls[name] = gpuMethodCalls(cfg, gpuObj, fd.Body)
+	})
+	for changed := true; changed; {
+		changed = false
+		for name, calls := range methodCalls {
+			for callee := range calls {
+				for f := range methodReads[callee] {
+					if !methodReads[name][f] {
+						methodReads[name][f] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Timing-side reads: direct field selections plus method calls.
+	reads := map[string]token.Position{} // field -> first read site
+	note := func(field string, pos token.Position) {
+		if old, ok := reads[field]; !ok || posLess(pos, old) {
+			reads[field] = pos
+		}
+	}
+	for _, pkg := range m.SortedPkgs() {
+		if !isTimingSide(pkg.RelPath) || pkg.Info == nil {
+			continue
+		}
+		for sel, selection := range pkg.Info.Selections {
+			if !recvIsGPU(selection.Recv(), gpuObj) {
+				continue
+			}
+			pos := m.Fset.Position(sel.Sel.Pos())
+			switch selection.Kind() {
+			case types.FieldVal:
+				note(selection.Obj().Name(), pos)
+			case types.MethodVal, types.MethodExpr:
+				for f := range methodReads[selection.Obj().Name()] {
+					note(f, pos)
+				}
+			}
+		}
+	}
+
+	// Reads must be encoded or neutral; power-only reads are the bug class.
+	var readFields []string
+	for f := range reads {
+		readFields = append(readFields, f)
+	}
+	sort.Strings(readFields)
+	for _, f := range readFields {
+		_, enc := encoded[f]
+		if enc || inList(neutral, f) {
+			continue
+		}
+		pos := reads[f]
+		if inList(powerOnly, f) {
+			out = append(out, Finding{Pos: pos, Pass: pass,
+				Msg: fmt.Sprintf("timing-side code reads config.GPU.%s, which %s declares power-only: configs differing in it share a simcache key (cache corruption)", f, powerOnlyVar)})
+		} else {
+			out = append(out, Finding{Pos: pos, Pass: pass,
+				Msg: fmt.Sprintf("timing-side code reads config.GPU.%s but %s does not encode it: configs differing in it share a simcache key (cache corruption)", f, timingKeyFunc)})
+		}
+	}
+
+	// Encoded-but-unread fields fragment the cache: warn.
+	var encFields []string
+	for f := range encoded {
+		encFields = append(encFields, f)
+	}
+	sort.Strings(encFields)
+	for _, f := range encFields {
+		if _, ok := reads[f]; !ok && isField[f] {
+			out = append(out, Finding{Pos: encoded[f], Pass: pass, Warning: true,
+				Msg: fmt.Sprintf("%s encodes config.GPU.%s but no timing-side code reads it: equal simulations get distinct simcache keys", timingKeyFunc, f)})
+		}
+	}
+	return out
+}
+
+func isTimingSide(rel string) bool {
+	for _, p := range timingSidePkgs {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// recvIsGPU reports whether t is config.GPU or *config.GPU.
+func recvIsGPU(t types.Type, gpu *types.TypeName) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == gpu
+}
+
+// forEachGPUMethod visits every FuncDecl in the config package whose
+// receiver is GPU or *GPU.
+func forEachGPUMethod(cfg *Package, gpu *types.TypeName, visit func(*ast.FuncDecl)) {
+	for _, f := range cfg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			rt := cfg.Info.Types[fd.Recv.List[0].Type].Type
+			if rt != nil && recvIsGPU(rt, gpu) {
+				visit(fd)
+			}
+		}
+	}
+}
+
+// gpuFieldReads collects the GPU fields selected anywhere under n, keyed by
+// field name with the first selection position.
+func gpuFieldReads(m *Module, cfg *Package, gpu *types.TypeName, n ast.Node) map[string]token.Position {
+	out := map[string]token.Position{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := cfg.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal || !recvIsGPU(selection.Recv(), gpu) {
+			return true
+		}
+		name := selection.Obj().Name()
+		pos := m.Fset.Position(sel.Sel.Pos())
+		if old, ok := out[name]; !ok || posLess(pos, old) {
+			out[name] = pos
+		}
+		return true
+	})
+	return out
+}
+
+// gpuMethodCalls collects the names of GPU methods called anywhere under n.
+func gpuMethodCalls(cfg *Package, gpu *types.TypeName, n ast.Node) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := cfg.Info.Selections[sel]
+		if ok && selection.Kind() == types.MethodVal && recvIsGPU(selection.Recv(), gpu) {
+			out[selection.Obj().Name()] = true
+		}
+		return true
+	})
+	return out
+}
+
+// listEntry is one element of a declared string-list var.
+type listEntry struct {
+	name string
+	pos  token.Position
+}
+
+// stringListVar extracts a package-level `var name = []string{...}`
+// declaration's elements.
+func stringListVar(m *Module, pkg *Package, name string) ([]listEntry, bool) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						return nil, false
+					}
+					var out []listEntry
+					for _, el := range cl.Elts {
+						if tv, ok := pkg.Info.Types[el]; ok && tv.Value != nil {
+							out = append(out, listEntry{
+								name: strings.Trim(tv.Value.ExactString(), `"`),
+								pos:  m.Fset.Position(el.Pos()),
+							})
+						}
+					}
+					return out, true
+				}
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// wirejson guards the wire formats: any struct that flows into
+// encoding/json inside the wire packages (the sweep wire layer, the service
+// HTTP types, the fleet API types) — plus everything reachable through its
+// fields, plus any type marked `//gpowlint:wire` anywhere in the module —
+// must tag every exported field with a `json` tag. An untagged exported
+// field marshals under its Go name, so an innocent rename silently breaks
+// remote clients, journals and fleet routing state; the tag makes the wire
+// name an explicit, diffable contract.
+//
+// Embedded fields need no tag themselves (their promoted fields marshal
+// under their own tags) but their types join the closure. Types defined
+// outside the module (time.Time, ...) are trusted.
+
+// wirePkgs are the packages whose encoding/json call sites seed the wire
+// type closure.
+var wirePkgs = []string{"internal/sweep", "internal/service", "internal/fleet"}
+
+func runWireJSON(m *Module) []Finding {
+	pass := "wirejson"
+
+	// Seed the closure: payload types of json calls in the wire packages...
+	seen := map[*types.Named]bool{}
+	var queue []*types.Named
+	addType := func(t types.Type) {
+		for {
+			switch u := t.(type) {
+			case *types.Pointer:
+				t = u.Elem()
+				continue
+			case *types.Slice:
+				t = u.Elem()
+				continue
+			case *types.Array:
+				t = u.Elem()
+				continue
+			case *types.Map:
+				t = u.Elem()
+				continue
+			}
+			break
+		}
+		n, ok := t.(*types.Named)
+		if !ok || n.Obj().Pkg() == nil {
+			return
+		}
+		if _, inModule := m.relOfImport(n.Obj().Pkg().Path()); !inModule {
+			return
+		}
+		if !seen[n] {
+			seen[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for _, rel := range wirePkgs {
+		pkg := m.Pkg(rel)
+		if pkg == nil || pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, arg := range jsonPayloadArgs(pkg, call) {
+					if tv, ok := pkg.Info.Types[arg]; ok {
+						addType(tv.Type)
+					}
+				}
+				return true
+			})
+		}
+	}
+	// ...plus explicitly marked types anywhere in the module.
+	for _, pkg := range m.SortedPkgs() {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			dirs := lineDirectives(m.Fset, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				if hasDirective(dirs, m.Fset.Position(ts.Pos()).Line, "wire") {
+					if obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+						addType(obj.Type())
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Walk the closure, checking struct fields.
+	var out []Finding
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		tname := n.Obj().Pkg().Name() + "." + n.Obj().Name()
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			addType(f.Type()) // reachable wire surface, tagged or not
+			if f.Embedded() {
+				continue
+			}
+			tag := reflect.StructTag(st.Tag(i))
+			if _, ok := tag.Lookup("json"); !ok {
+				out = append(out, Finding{Pos: m.Fset.Position(f.Pos()), Pass: pass,
+					Msg: fmt.Sprintf("exported field %s.%s reaches encoding/json without a json tag: the wire format silently depends on the Go field name", tname, f.Name())})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return posLess(out[i].Pos, out[j].Pos) })
+	return out
+}
+
+// jsonPayloadArgs returns the payload expressions of an encoding/json call:
+// json.Marshal(v), json.MarshalIndent(v, ...), json.Unmarshal(b, &v),
+// enc.Encode(v), dec.Decode(&v). Non-json calls return nil.
+func jsonPayloadArgs(pkg *Package, call *ast.CallExpr) []ast.Expr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	// Package-level json.X calls.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() != "encoding/json" {
+				return nil
+			}
+			switch sel.Sel.Name {
+			case "Marshal", "MarshalIndent":
+				if len(call.Args) >= 1 {
+					return call.Args[:1]
+				}
+			case "Unmarshal":
+				if len(call.Args) == 2 {
+					return call.Args[1:]
+				}
+			}
+			return nil
+		}
+	}
+	// Method calls on *json.Encoder / *json.Decoder.
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+		return nil
+	}
+	if (fn.Name() == "Encode" || fn.Name() == "Decode") && len(call.Args) == 1 {
+		return call.Args
+	}
+	return nil
+}
