@@ -1,7 +1,9 @@
 package service
 
 import (
+	_ "embed"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -49,6 +51,29 @@ const (
 	// killing any process.
 	FaultDropBackendMidStream = "drop-backend-mid-stream"
 )
+
+// faultpointManifest is the single source of truth for faultpoint names,
+// shared with the shell drills (scripts/service_lib.sh require_faultpoint
+// greps the same file) and cross-checked against the Fault* constants by
+// gpowlint's faultpoint pass and TestFaultpointManifest.
+//
+//go:embed faultpoints.txt
+var faultpointManifest string
+
+// DeclaredFaultpoints returns the manifest's faultpoint names, sorted.
+// Comment lines (#) and blanks are skipped.
+func DeclaredFaultpoints() []string {
+	var names []string
+	for _, line := range strings.Split(faultpointManifest, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		names = append(names, line)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // faultSpec is one parsed GPUSIMPOW_FAULTPOINT value.
 type faultSpec struct {

@@ -1,6 +1,11 @@
 package service
 
-import "testing"
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
 
 func TestParseFaultSpec(t *testing.T) {
 	cases := []struct {
@@ -48,5 +53,31 @@ func TestFaultpointCountedWindow(t *testing.T) {
 	}
 	if Faultpoint(FaultSeverProxiedStream) {
 		t.Error("unarmed point fired")
+	}
+}
+
+// TestFaultpointManifest pins the embedded manifest to the Fault*
+// constants: a name added on one side without the other fails here (and
+// fails `make lint` via gpowlint's faultpoint pass, which additionally
+// checks the shell drills). The shell half of the contract —
+// require_faultpoint in scripts/service_lib.sh — greps the same file.
+func TestFaultpointManifest(t *testing.T) {
+	consts := []string{
+		FaultCrashAfterJournalAppend,
+		FaultDropConnectionMidStream,
+		FaultPanicInReduce,
+		FaultBlackholeProbe,
+		FaultSeverProxiedStream,
+		FaultDropBackendMidStream,
+	}
+	sort.Strings(consts)
+	declared := DeclaredFaultpoints()
+	if !reflect.DeepEqual(declared, consts) {
+		t.Fatalf("faultpoints.txt out of sync with Fault* constants:\nmanifest: %v\nconsts:   %v", declared, consts)
+	}
+	for _, name := range declared {
+		if strings.TrimSpace(name) != name || name == "" || strings.HasPrefix(name, "#") {
+			t.Errorf("malformed manifest name %q", name)
+		}
 	}
 }

@@ -44,6 +44,7 @@ go build -o "$tmp/gpowexp" ./cmd/gpowexp
 port=$(pick_port)
 
 # First daemon: armed to die journaling the second cell record.
+require_faultpoint crash-after-journal-append
 GPUSIMPOW_FAULTPOINT=crash-after-journal-append:3 \
     "$tmp/gpowd" -addr "127.0.0.1:$port" -state-dir "$tmp/state" 2>"$tmp/gpowd1.log" &
 pid=$!
