@@ -1,0 +1,56 @@
+// Package config is a miniature of the real module's config package,
+// seeded with one violation of each timingpartition rule so the golden
+// test can pin the diagnostics.
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// GPU mirrors the real config.GPU shape: some fields encoded in the
+// timing key, some classified, and one (DebugLabel) left unclassified on
+// purpose.
+type GPU struct {
+	Name         string
+	CoreClockMHz float64
+	Clusters     int
+	ProcessNM    float64
+	L1KB         int
+	DebugLabel   string
+}
+
+// powerOnlyFields deliberately lists one real field and one field that
+// does not exist ("Ghost").
+var powerOnlyFields = []string{
+	"ProcessNM",
+	"Ghost",
+}
+
+var timingNeutralFields = []string{
+	"Name",
+}
+
+// appendTimingFields encodes CoreClockMHz, Clusters and L1KB. L1KB is
+// never read by the sim package, so it is dead key material (warning).
+func (g *GPU) appendTimingFields(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(g.CoreClockMHz))
+	b = binary.BigEndian.AppendUint64(b, uint64(g.Clusters))
+	b = binary.BigEndian.AppendUint64(b, uint64(g.L1KB))
+	return b
+}
+
+// TimingKey mirrors the real content-addressed key.
+func (g *GPU) TimingKey() [32]byte { return sha256.Sum256(g.appendTimingFields(nil)) }
+
+// NumCores exists to exercise the transitive method-read closure: a sim
+// call to NumCores counts as reading Clusters.
+func (g *GPU) NumCores() int { return g.Clusters * 2 }
+
+// CalReport is marked as a wire type even though config is not a wire
+// package; the directive pulls it into the json-tag closure.
+//
+//gpowlint:wire
+type CalReport struct {
+	Version int // untagged on purpose
+}

@@ -1,0 +1,19 @@
+// Package service seeds the faultpoint pass: one const missing from the
+// manifest, one manifest name with no const, and call sites with a
+// literal and a computed argument (in server.go — this file is exempt as
+// the declaring file).
+package service
+
+const (
+	// FaultCrashEarly is declared in the manifest and exercised by the
+	// fixture script.
+	FaultCrashEarly = "crash-early"
+	// FaultRogue is missing from the manifest on purpose.
+	FaultRogue = "rogue-point"
+)
+
+func faultpoint(name string) bool { return name != "" }
+
+// Faultpoint is the exported check; forwarding a parameter here is the
+// declaring file's prerogative.
+func Faultpoint(name string) bool { return faultpoint(name) }

@@ -1,0 +1,17 @@
+package service
+
+// crashMaybe arms one declared point (clean) and one undeclared literal
+// (finding).
+func crashMaybe() bool {
+	if Faultpoint(FaultCrashEarly) {
+		return true
+	}
+	return Faultpoint("undeclared-literal")
+}
+
+// armDynamic forwards a computed name (finding: not a constant).
+func armDynamic(n string) bool { return Faultpoint(n) }
+
+var _ = crashMaybe
+var _ = armDynamic
+var _ = FaultRogue

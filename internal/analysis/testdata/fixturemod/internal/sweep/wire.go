@@ -1,0 +1,22 @@
+// Package sweep seeds the wirejson pass: Record flows into json.Marshal,
+// Cell joins the closure through Record's field, and each carries one
+// untagged exported field.
+package sweep
+
+import "encoding/json"
+
+// Record is the marshaled root.
+type Record struct {
+	Scenario string `json:"scenario"`
+	Cells    []Cell `json:"cells"`
+	Elapsed  int    // untagged on purpose
+}
+
+// Cell is reached only transitively.
+type Cell struct {
+	Index int     `json:"index"`
+	Power float64 // untagged on purpose
+}
+
+// Marshal is the seeding call site.
+func Marshal(r *Record) ([]byte, error) { return json.Marshal(r) }

@@ -1,0 +1,5 @@
+#!/bin/sh
+# Fixture drill: the first arm is declared (and counts as crash-early's
+# reference); the second arms a typo'd name the manifest never declared.
+GPUSIMPOW_FAULTPOINT=crash-early:2 ./daemon
+GPUSIMPOW_FAULTPOINT=typo-point ./daemon
