@@ -53,6 +53,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	_ "gpusimpow/internal/experiments" // registers every scenario
@@ -205,6 +207,8 @@ func runCmd(remote string, args []string) error {
 	jsonOut := fs.Bool("json", false, "emit flat cell records as NDJSON instead of the formatted report (sweep scenarios only)")
 	report := fs.Bool("report", false, "render the scenario's reduced report (remote: fetched from /v1/jobs/{id}/report)")
 	reportJSON := fs.Bool("report-json", false, "emit the scenario's reduced report as JSON, one line per scenario")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the local run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the run, post-GC) to this file")
 	// Accept flags before, between and after scenario names.
 	var names []string
 	rest := args
@@ -253,7 +257,38 @@ func runCmd(remote string, args []string) error {
 		if *stats {
 			return fmt.Errorf("-stats reads the in-process cache; the daemon's counters are its own")
 		}
+		if *cpuProfile != "" || *memProfile != "" {
+			return fmt.Errorf("-cpuprofile/-memprofile profile the local process; they cannot observe a daemon")
+		}
 		return runRemote(remote, names, f, mode, *verbose)
+	}
+
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			pf, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer pf.Close()
+			// Post-GC snapshot: live steady-state allocations, not the
+			// churn the collector already reclaimed.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	if *verbose {

@@ -1,0 +1,103 @@
+package kernel
+
+// Deferred global-memory execution.
+//
+// When the cycle-level simulator steps cores on parallel workers, the one
+// piece of functional state cores share is GlobalMem: two cores touching
+// global memory in the same cycle must apply their loads, stores and
+// atomics in the sequential loop's order (ascending core id, issue order
+// within a core) or results drift — and GlobalMem's grow-on-write slice is
+// not safe to touch concurrently in the first place. Attaching a
+// GlobalCapture to an Env makes Exec record those operations instead of
+// performing them; the simulator replays each worker's capture at the
+// cycle barrier in core-id order, reproducing the sequential interleaving
+// bit for bit. The deferral is invisible to the machine model: a loaded
+// value lands in its destination register at the barrier, and the
+// scoreboard (or the blocking-warp rule) keeps the owning warp from
+// issuing a dependent instruction until the memory writeback event fires
+// cycles later, so no one can observe the window. Local state — shared
+// memory, constants, parameters, registers of other instructions — is
+// core-private and executes immediately as always.
+
+// capKind discriminates captured operations.
+type capKind uint8
+
+const (
+	capLoad capKind = iota
+	capStore
+	capAtomAdd
+)
+
+// CapturedOp is one deferred global-memory operation.
+type CapturedOp struct {
+	kind capKind
+	addr uint32
+	// val is the stored value (capStore) or the addend (capAtomAdd).
+	val uint32
+	// regs/regIdx locate the destination register for the loaded or
+	// pre-atomic value; regs is nil when the instruction has no
+	// destination.
+	regs   []uint32
+	regIdx int32
+}
+
+// GlobalCapture accumulates deferred global-memory operations in execution
+// order. The zero value is ready to use; Reset recycles the backing array
+// across cycles.
+type GlobalCapture struct {
+	Ops []CapturedOp
+}
+
+// Reset empties the capture, keeping capacity.
+func (gc *GlobalCapture) Reset() { gc.Ops = gc.Ops[:0] }
+
+// Len returns the number of captured operations; the simulator brackets
+// each instruction's operations with [before, after) Len calls.
+func (gc *GlobalCapture) Len() int { return len(gc.Ops) }
+
+// Replay applies operations [start, end) to g in recorded order.
+func (gc *GlobalCapture) Replay(g *GlobalMem, start, end int) {
+	for i := start; i < end; i++ {
+		op := &gc.Ops[i]
+		switch op.kind {
+		case capLoad:
+			v := g.Read32(op.addr)
+			if op.regs != nil {
+				op.regs[op.regIdx] = v
+			}
+		case capStore:
+			g.Write32(op.addr, op.val)
+		case capAtomAdd:
+			old := g.Read32(op.addr)
+			g.Write32(op.addr, old+op.val)
+			if op.regs != nil {
+				op.regs[op.regIdx] = old
+			}
+		}
+	}
+}
+
+// captureLoad records a deferred global/texture load into register row
+// offset dstOff (flat Regs index), lane l; dstOff < 0 drops the value.
+func (gc *GlobalCapture) captureLoad(w *Warp, dstOff int32, l int, addr uint32) {
+	op := CapturedOp{kind: capLoad, addr: addr, regIdx: -1}
+	if dstOff >= 0 {
+		op.regs, op.regIdx = w.Regs, dstOff+int32(l)
+	}
+	gc.Ops = append(gc.Ops, op)
+}
+
+// captureStore records a deferred global store.
+func (gc *GlobalCapture) captureStore(addr, v uint32) {
+	gc.Ops = append(gc.Ops, CapturedOp{kind: capStore, addr: addr, val: v})
+}
+
+// captureAtomAdd records a deferred global atomic add returning the old
+// value into dstOff (flat Regs index), lane l; dstOff < 0 drops it.
+func (gc *GlobalCapture) captureAtomAdd(w *Warp, dstOff int32, l int, addr, addend uint32) {
+	op := CapturedOp{kind: capAtomAdd, addr: addr, val: addend, regIdx: -1}
+	if dstOff >= 0 {
+		op.regs, op.regIdx = w.Regs, dstOff+int32(l)
+	}
+	gc.Ops = append(gc.Ops, op)
+}

@@ -12,7 +12,10 @@
 // builder's label mechanism).
 package kernel
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // WarpSize is the number of threads per warp. Both modeled GPUs use 32.
 const WarpSize = 32
@@ -280,6 +283,12 @@ type Program struct {
 	SMemBytes int
 	// NumParams is the number of 32-bit kernel parameters expected.
 	NumParams int
+
+	// decodeOnce guards the lazy build of dec; see Decoded in decode.go.
+	// Programs are assembled once by the builder and shared by pointer, so
+	// the latch also makes concurrent first executions race-free.
+	decodeOnce sync.Once
+	dec        []DInstr
 }
 
 // Validate checks structural well-formedness of the program.

@@ -32,11 +32,32 @@ func NewBlockCtx(l *Launch, ctaX, ctaY int) *BlockCtx {
 	}
 }
 
+// Reset repoints a recycled block context at a new block, zeroing the
+// shared-memory image. The simulator pools contexts per core so
+// steady-state block turnover stops allocating; a context must never carry
+// shared-memory state from the block that previously owned it (pinned by
+// the sim package's pooled-state aliasing test).
+func (b *BlockCtx) Reset(l *Launch, ctaX, ctaY int) {
+	b.CtaX, b.CtaY, b.Launch = ctaX, ctaY, l
+	need := (l.SMemBytes() + 3) / 4
+	if cap(b.Shared) >= need {
+		b.Shared = b.Shared[:need]
+		clear(b.Shared)
+	} else {
+		b.Shared = make([]uint32, need)
+	}
+}
+
 // Env bundles the memories a warp needs during execution.
 type Env struct {
 	Global *GlobalMem
 	Const  *ConstMem
 	Block  *BlockCtx
+	// Capture, when non-nil, defers the Global side of Ld/St/AtomAdd: Exec
+	// records the operations instead of performing them and the owner
+	// replays them later in order (see GlobalCapture). Shared memory,
+	// constants and parameters are unaffected.
+	Capture *GlobalCapture
 }
 
 // Warp is the architectural state of one warp: per-lane registers and the
@@ -75,6 +96,33 @@ func NewWarp(idInBlock, liveLanes, numRegs int) *Warp {
 		Stack:       []Token{{PC: 0, Reconv: -1, Mask: mask}},
 		initialMask: mask,
 	}
+}
+
+// Reset reinitialises a recycled warp to NewWarp's state: registers
+// zeroed, a single bottom-of-stack token, flags cleared. The simulator
+// pools warps per core; recycled register files and token stacks must be
+// indistinguishable from fresh ones (pinned by the sim package's
+// pooled-state aliasing test).
+func (w *Warp) Reset(idInBlock, liveLanes, numRegs int) {
+	if liveLanes <= 0 || liveLanes > WarpSize {
+		panic(fmt.Sprintf("kernel: warp with %d lanes", liveLanes))
+	}
+	var mask uint32
+	if liveLanes == WarpSize {
+		mask = FullMask
+	} else {
+		mask = (uint32(1) << liveLanes) - 1
+	}
+	w.IDInBlock = idInBlock
+	if len(w.Regs) == numRegs*WarpSize {
+		clear(w.Regs)
+	} else {
+		w.Regs = make([]uint32, numRegs*WarpSize)
+	}
+	w.Stack = append(w.Stack[:0], Token{PC: 0, Reconv: -1, Mask: mask})
+	w.AtBarrier = false
+	w.Finished = false
+	w.initialMask = mask
 }
 
 // Top returns the active token. Panics if the warp has finished.
@@ -176,14 +224,15 @@ func (w *Warp) Exec(p *Program, env *Env) (StepInfo, error) {
 		return StepInfo{}, fmt.Errorf("kernel %s: pc %d out of range (missing exit?)", p.Name, pc)
 	}
 	in := &p.Instrs[pc]
+	d := &p.Decoded()[pc]
 	info := StepInfo{Instr: in, PC: pc}
 
 	// Predicate resolution: build the set-lane mask branch-free over the
 	// contiguous predicate-register row, then mask with the active lanes
 	// (reading an inactive lane's predicate is harmless).
 	execMask := top.Mask
-	if in.Pred != NoPred {
-		preds := w.Regs[int(in.Pred)*WarpSize : int(in.Pred)*WarpSize+WarpSize]
+	if d.predOff >= 0 {
+		preds := w.Regs[d.predOff : d.predOff+WarpSize]
 		var pm uint32
 		for l, v := range preds {
 			var bit uint32
@@ -218,7 +267,13 @@ func (w *Warp) Exec(p *Program, env *Env) (StepInfo, error) {
 		top.PC++
 		w.popMerged(&info)
 	default:
-		if err := w.execData(in, execMask, env, &info); err != nil {
+		var err error
+		if d.fast {
+			err = w.execDataFast(in, d, execMask, env, &info)
+		} else {
+			err = w.execData(in, execMask, env, &info)
+		}
+		if err != nil {
 			return info, err
 		}
 		top.PC++
@@ -402,17 +457,29 @@ func (w *Warp) execData(in *Instr, execMask uint32, env *Env, info *StepInfo) er
 			info.Addrs[l] = addr
 			switch in.Op {
 			case OpLd:
+				if gc := env.Capture; gc != nil && (in.Space == SpaceGlobal || in.Space == SpaceTexture) {
+					gc.captureLoad(w, dstOffOf(in), l, addr)
+					continue
+				}
 				v, err := w.load(in.Space, addr, env)
 				if err != nil {
 					return err
 				}
 				d = v
 			case OpSt:
+				if gc := env.Capture; gc != nil && in.Space == SpaceGlobal {
+					gc.captureStore(addr, b)
+					continue
+				}
 				if err := w.store(in.Space, addr, b, env); err != nil {
 					return err
 				}
 				continue
 			case OpAtomAdd:
+				if gc := env.Capture; gc != nil {
+					gc.captureAtomAdd(w, dstOffOf(in), l, addr, b)
+					continue
+				}
 				old := env.Global.Read32(addr)
 				env.Global.Write32(addr, old+b)
 				d = old
@@ -425,6 +492,15 @@ func (w *Warp) execData(in *Instr, execMask uint32, env *Env, info *StepInfo) er
 		}
 	}
 	return nil
+}
+
+// dstOffOf returns the flat Regs offset of the destination row, -1 if the
+// instruction writes no register (the capture-path analogue of HasDst).
+func dstOffOf(in *Instr) int32 {
+	if in.HasDst {
+		return int32(in.Dst) * WarpSize
+	}
+	return -1
 }
 
 func (w *Warp) load(space Space, addr uint32, env *Env) (uint32, error) {

@@ -1,0 +1,76 @@
+package kernel
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The simulator's per-core pools recycle warps and block contexts across
+// thread blocks; Reset must leave an object indistinguishable from a newly
+// constructed one, or pooled state leaks into later blocks.
+
+func TestWarpResetMatchesNew(t *testing.T) {
+	w := NewWarp(3, 16, 8)
+	// Dirty every piece of state a kernel can touch.
+	for i := range w.Regs {
+		w.Regs[i] = 0xA5A5A5A5
+	}
+	w.Stack = append(w.Stack, Token{PC: 7, Reconv: 9, Mask: 0x0F0F})
+	w.AtBarrier = true
+	w.Finished = true
+
+	// Same register count: the backing array must be reused and cleared.
+	regs := &w.Regs[0]
+	w.Reset(1, WarpSize, 8)
+	if !reflect.DeepEqual(w, NewWarp(1, WarpSize, 8)) {
+		t.Errorf("Reset(1, %d, 8) = %+v, want fresh %+v", WarpSize, w, NewWarp(1, WarpSize, 8))
+	}
+	if &w.Regs[0] != regs {
+		t.Error("Reset reallocated Regs despite an unchanged register count")
+	}
+
+	// Different register count: Reset must size the file like NewWarp.
+	w.Reset(0, 8, 16)
+	if !reflect.DeepEqual(w, NewWarp(0, 8, 16)) {
+		t.Errorf("Reset(0, 8, 16) = %+v, want fresh %+v", w, NewWarp(0, 8, 16))
+	}
+}
+
+func TestBlockCtxResetMatchesNew(t *testing.T) {
+	b := NewBuilder("resetProbe", 4)
+	b.SMem(32)
+	b.Exit()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &Launch{Prog: prog, Grid: Dim{X: 4, Y: 1}, Block: Dim{X: WarpSize, Y: 1}}
+
+	ctx := NewBlockCtx(l, 2, 0)
+	for i := range ctx.Shared {
+		ctx.Shared[i] = 0xDEADBEEF
+	}
+
+	shared := &ctx.Shared[0]
+	ctx.Reset(l, 3, 0)
+	if !reflect.DeepEqual(ctx, NewBlockCtx(l, 3, 0)) {
+		t.Errorf("Reset = %+v, want fresh %+v", ctx, NewBlockCtx(l, 3, 0))
+	}
+	if &ctx.Shared[0] != shared {
+		t.Error("Reset reallocated Shared despite an unchanged size")
+	}
+
+	// A larger demand forces reallocation, still matching a fresh context.
+	b2 := NewBuilder("resetProbe2", 4)
+	b2.SMem(4096)
+	b2.Exit()
+	prog2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := &Launch{Prog: prog2, Grid: Dim{X: 1, Y: 1}, Block: Dim{X: WarpSize, Y: 1}}
+	ctx.Reset(l2, 0, 0)
+	if !reflect.DeepEqual(ctx, NewBlockCtx(l2, 0, 0)) {
+		t.Errorf("Reset to larger smem = %+v, want fresh %+v", ctx, NewBlockCtx(l2, 0, 0))
+	}
+}

@@ -1,0 +1,76 @@
+package runner
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Shared node-wide worker budget.
+//
+// Two layers of this codebase fan out onto OS threads: the experiment
+// runner's job pool (MapN, above) and the timing simulator's
+// intra-simulation core stepping (internal/sim, the SimWorkers knob).
+// Composed naively — a GOMAXPROCS-wide sweep whose every job also spawns
+// GOMAXPROCS sim workers — they oversubscribe the node quadratically. The
+// budget below is the coordination point: a single process-wide count of
+// *extra* workers (beyond the calling goroutine) currently claimed. MapN
+// registers its pool here unconditionally — the sweep layer is the outer
+// loop and gets priority — while the simulator asks elastically via
+// TryReserveWorkers and falls back to its sequential path when the budget
+// is exhausted. The budget only shapes how many threads run; it never
+// changes what is simulated (the parallel and sequential sim paths are
+// bit-identical), so an unlucky reservation race costs throughput, not
+// determinism.
+
+// reservedWorkers counts extra OS-thread claims currently outstanding
+// (each Map/MapN pool counts workers-1; each parallel simulation counts
+// its sim workers minus one).
+var reservedWorkers atomic.Int64
+
+// workerBudget is the total number of extra workers worth claiming:
+// GOMAXPROCS minus the calling goroutine.
+func workerBudget() int64 {
+	return int64(runtime.GOMAXPROCS(0)) - 1
+}
+
+// ReserveWorkers unconditionally claims n extra workers, driving the
+// budget negative if need be. Callers that were explicitly told a worker
+// count (a forced SimWorkers config, an explicit MapN width) use this:
+// the user's word beats the heuristic. Pair with ReleaseWorkers.
+func ReserveWorkers(n int) {
+	if n > 0 {
+		reservedWorkers.Add(int64(n))
+	}
+}
+
+// TryReserveWorkers claims up to n extra workers without exceeding the
+// budget and returns how many it got (possibly zero; never negative).
+// Elastic callers — the simulator's auto worker mode — size themselves
+// from the grant and must release exactly that many afterwards.
+func TryReserveWorkers(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	budget := workerBudget()
+	for {
+		cur := reservedWorkers.Load()
+		free := budget - cur
+		if free <= 0 {
+			return 0
+		}
+		grant := int64(n)
+		if grant > free {
+			grant = free
+		}
+		if reservedWorkers.CompareAndSwap(cur, cur+grant) {
+			return int(grant)
+		}
+	}
+}
+
+// ReleaseWorkers returns n previously reserved workers to the budget.
+func ReleaseWorkers(n int) {
+	if n > 0 {
+		reservedWorkers.Add(-int64(n))
+	}
+}

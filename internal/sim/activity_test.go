@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestActivityAddScalarsCoversEveryField keeps addScalars exhaustive: the
+// parallel stepper shards every scalar counter, so a new Activity field
+// that addScalars does not accumulate would silently drop its counts in
+// parallel runs. Every non-slice field must be a uint64 scalar that
+// addScalars carries over; the per-core and per-cluster slices are written
+// at disjoint indices by the owning worker and are deliberately excluded.
+func TestActivityAddScalarsCoversEveryField(t *testing.T) {
+	var src, dst Activity
+	v := reflect.ValueOf(&src).Elem()
+	typ := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(7)
+		case reflect.Slice:
+			// CoreBusyCycles / ClusterBusyCycles: excluded by design.
+		default:
+			t.Fatalf("Activity.%s has kind %s; addScalars and the parallel merge only handle uint64 scalars and slices",
+				typ.Field(i).Name, f.Kind())
+		}
+	}
+	dst.addScalars(&src)
+	w := reflect.ValueOf(dst)
+	for i := 0; i < w.NumField(); i++ {
+		if w.Field(i).Kind() == reflect.Uint64 && w.Field(i).Uint() != 7 {
+			t.Errorf("addScalars does not accumulate Activity.%s", typ.Field(i).Name)
+		}
+	}
+}

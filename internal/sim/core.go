@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"gpusimpow/internal/config"
 	"gpusimpow/internal/kernel"
@@ -118,6 +119,24 @@ type coreState struct {
 	ageCounter uint64
 	orderBuf   []int // scratch for candidate ordering
 
+	// Warp-status bitmasks, maintained when MaxWarpsPerCore fits a word
+	// (useMasks): bit i of fetchable is set iff slot i is active with no
+	// buffered instruction and neither finished nor at a barrier; issuable
+	// is the same predicate with a buffered instruction. schedMask[s]
+	// selects scheduler s's congruence class (slot i belongs to scheduler
+	// i mod Schedulers). The field-scan loops remain for larger cores.
+	useMasks  bool
+	fetchable uint64
+	issuable  uint64
+	schedMask []uint64
+
+	// Retired warps, block contexts and block runtimes recycle through
+	// per-core LIFO pools, so steady-state dispatch allocates nothing but
+	// one Env per block.
+	warpPool  []*kernel.Warp
+	ctxPool   []*kernel.BlockCtx
+	blockPool []*blockRt
+
 	events wbHeap
 
 	l1     *cache.Cache // nil when absent
@@ -126,7 +145,6 @@ type coreState struct {
 
 	// Reusable per-core scratch buffers: these keep the fetch/issue/memory
 	// hot path free of per-cycle allocations.
-	scratch  []uint8  // register list (scoreboard checks, RF accounting)
 	segBuf   []uint32 // coalesced segment bases
 	addrBuf  []uint32 // distinct constant addresses
 	lineBuf  []uint32 // distinct texture lines
@@ -149,6 +167,13 @@ func newCoreState(id int, cfg *config.GPU) (*coreState, error) {
 	c.lastIssued = make([]int, cfg.Schedulers)
 	for i := range c.lastIssued {
 		c.lastIssued[i] = -1
+	}
+	if cfg.MaxWarpsPerCore <= 64 {
+		c.useMasks = true
+		c.schedMask = make([]uint64, cfg.Schedulers)
+		for i := 0; i < cfg.MaxWarpsPerCore; i++ {
+			c.schedMask[i%cfg.Schedulers] |= 1 << i
+		}
 	}
 	if cfg.L1KB > 0 {
 		l1, err := cache.New(cache.Config{
@@ -202,11 +227,46 @@ func (c *coreState) canAccept(warps, smemBytes, regs int) bool {
 		c.freeWarps >= warps && c.freeSMem >= smemBytes && c.freeRegs >= regs
 }
 
+// takeWarp pops a pooled warp (resetting it for the new block) or builds a
+// fresh one when the pool is dry.
+func (c *coreState) takeWarp(idInBlock, lanes, numRegs int) *kernel.Warp {
+	if n := len(c.warpPool); n > 0 {
+		w := c.warpPool[n-1]
+		c.warpPool = c.warpPool[:n-1]
+		w.Reset(idInBlock, lanes, numRegs)
+		return w
+	}
+	return kernel.NewWarp(idInBlock, lanes, numRegs)
+}
+
+// takeBlock pops a pooled block runtime or builds a fresh one.
+func (c *coreState) takeBlock(env *kernel.Env, total int) *blockRt {
+	if n := len(c.blockPool); n > 0 {
+		b := c.blockPool[n-1]
+		c.blockPool = c.blockPool[:n-1]
+		*b = blockRt{env: env, slots: b.slots[:0], total: total}
+		return b
+	}
+	return &blockRt{env: env, total: total}
+}
+
+// takeBlockCtx pops a pooled block context (resetting it for the new
+// block's coordinates) or builds a fresh one.
+func (c *coreState) takeBlockCtx(l *kernel.Launch, cx, cy int) *kernel.BlockCtx {
+	if n := len(c.ctxPool); n > 0 {
+		bctx := c.ctxPool[n-1]
+		c.ctxPool = c.ctxPool[:n-1]
+		bctx.Reset(l, cx, cy)
+		return bctx
+	}
+	return kernel.NewBlockCtx(l, cx, cy)
+}
+
 // place installs a block's warps into free slots.
 func (c *coreState) place(l *kernel.Launch, env *kernel.Env, smemBytes, regs int, a *Activity) *blockRt {
 	nw := l.WarpsPerBlock()
 	threads := l.ThreadsPerBlock()
-	b := &blockRt{env: env, total: nw}
+	b := c.takeBlock(env, nw)
 	for i := 0; i < nw; i++ {
 		lanes := kernel.WarpSize
 		if rem := threads - i*kernel.WarpSize; rem < kernel.WarpSize {
@@ -215,10 +275,14 @@ func (c *coreState) place(l *kernel.Launch, env *kernel.Env, smemBytes, regs int
 		slot := c.findFreeSlot()
 		c.ageCounter++
 		c.slots[slot] = warpSlot{
-			active:   true,
-			w:        kernel.NewWarp(i, lanes, l.Prog.NumRegs),
-			block:    b,
-			ageStamp: c.ageCounter,
+			active:      true,
+			w:           c.takeWarp(i, lanes, l.Prog.NumRegs),
+			block:       b,
+			ageStamp:    c.ageCounter,
+			pendingRegs: c.slots[slot].pendingRegs[:0],
+		}
+		if c.useMasks {
+			c.fetchable |= 1 << slot
 		}
 		b.slots = append(b.slots, slot)
 		a.WSTWrites++ // warp status table entry initialised
@@ -241,10 +305,36 @@ func (c *coreState) findFreeSlot() int {
 	panic("sim: no free warp slot despite accounting")
 }
 
-// retire frees a completed block's resources.
+// maybeReleaseBarrier releases a block's barrier once every live warp waits.
+func (c *coreState) maybeReleaseBarrier(b *blockRt) {
+	if b.atBarrier == 0 || b.atBarrier+b.finished < b.total {
+		return
+	}
+	for _, slot := range b.slots {
+		if c.slots[slot].active && c.slots[slot].w.AtBarrier {
+			c.slots[slot].w.ReleaseBarrier()
+			// A released warp was fetch-blocked by AtBarrier with an empty
+			// instruction buffer; it becomes fetchable again.
+			if c.useMasks && !c.slots[slot].w.Finished {
+				c.fetchable |= 1 << slot
+			}
+		}
+	}
+	b.atBarrier = 0
+}
+
+// retire frees a completed block's resources, returning its warps, block
+// context and runtime to the core's pools. The slot's scoreboard backing
+// array survives the reset (it is empty — the block had no outstanding
+// instructions — but its capacity is reused by the next occupant).
 func (c *coreState) retire(b *blockRt, smemBytes, regs int) {
 	for _, s := range b.slots {
-		c.slots[s] = warpSlot{}
+		c.warpPool = append(c.warpPool, c.slots[s].w)
+		c.slots[s] = warpSlot{pendingRegs: c.slots[s].pendingRegs[:0]}
+		if c.useMasks {
+			c.fetchable &^= 1 << s
+			c.issuable &^= 1 << s
+		}
 	}
 	c.freeWarps += b.total
 	c.freeSMem += smemBytes
@@ -255,6 +345,9 @@ func (c *coreState) retire(b *blockRt, smemBytes, regs int) {
 			break
 		}
 	}
+	c.ctxPool = append(c.ctxPool, b.env.Block)
+	b.env = nil
+	c.blockPool = append(c.blockPool, b)
 }
 
 // drainEvents applies writebacks due at the current cycle and returns how
@@ -292,6 +385,52 @@ func (c *coreState) drainEvents(now uint64, a *Activity) int {
 func (c *coreState) fetchStage(now uint64, a *Activity) int {
 	n := len(c.slots)
 	fetched := 0
+	if c.useMasks {
+		// Mask-kept equivalent of the field scan below, skipping runs of
+		// ineligible slots in one step. The scan visits i = fetchRR + scan
+		// with the LIVE fetchRR (a successful fetch advances the whole
+		// window, exactly as the field loop does); rotating the fetchable
+		// mask so bit 0 is the scan head turns "next eligible slot" into a
+		// trailing-zero count. Nothing mutates eligibility mid-scan except
+		// our own fetches, so the jump sees what the field loop would.
+		for scan := 0; scan < n && fetched < c.cfg.Schedulers; {
+			f := c.fetchable
+			if f == 0 {
+				break
+			}
+			start := c.fetchRR + scan
+			if start >= n {
+				start -= n
+			}
+			rot := f>>start | f<<(n-start)
+			d := bits.TrailingZeros64(rot)
+			if scan+d >= n {
+				break // next eligible slot is past the scan budget
+			}
+			scan += d
+			i := start + d
+			if i >= n {
+				i -= n
+			}
+			sl := &c.slots[i]
+			sl.ibValid = true
+			sl.fetchedAt = now
+			c.fetchable &^= 1 << i
+			c.issuable |= 1 << i
+			fetched++
+			a.ICacheReads++
+			a.Decodes++
+			a.WSTReads++
+			a.WSTWrites++
+			a.IBufWrites++
+			c.fetchRR = i + 1
+			if c.fetchRR == n {
+				c.fetchRR = 0
+			}
+			scan++
+		}
+		return fetched
+	}
 	for scan := 0; scan < n && fetched < c.cfg.Schedulers; scan++ {
 		// i derives from the *current* fetchRR each iteration (so a
 		// successful fetch advances the whole scan window) — the reduction
@@ -322,19 +461,17 @@ func (c *coreState) fetchStage(now uint64, a *Activity) int {
 
 // hazard reports whether the instruction at the warp's PC has a register
 // dependency against in-flight instructions (scoreboard check) or, in
-// blocking mode, whether anything at all is outstanding.
-func (c *coreState) hazard(sl *warpSlot, in *kernel.Instr) bool {
+// blocking mode, whether anything at all is outstanding. The decoded
+// HazRegs table is the same register set the seed built per issue with
+// Instr.SrcRegs plus the destination.
+func (c *coreState) hazard(sl *warpSlot, d *kernel.DInstr) bool {
 	if !c.cfg.HasScoreboard {
 		return sl.pendingN > 0
 	}
 	if len(sl.pendingRegs) >= c.cfg.ScoreboardEntries {
 		return true
 	}
-	c.scratch = in.SrcRegs(c.scratch[:0])
-	if in.HasDst {
-		c.scratch = append(c.scratch, in.Dst)
-	}
-	for _, r := range c.scratch {
+	for _, r := range d.HazRegs[:d.NHaz] {
 		for _, p := range sl.pendingRegs {
 			if p == r {
 				return true
@@ -375,8 +512,9 @@ func (c *coreState) unitFreeAt(class kernel.Class, sched int) uint64 {
 
 // issueStage arbitrates and issues up to one instruction per scheduler,
 // considering warps in the order the configured scheduling policy dictates.
-func (g *gpuSim) issueStage(c *coreState, now uint64) error {
-	a := &g.act
+func (st *stepper) issueStage(c *coreState, now uint64) error {
+	a := st.act
+	g := st.sim
 	n := len(c.slots)
 	for sched := 0; sched < c.cfg.Schedulers; sched++ {
 		c.orderBuf = g.candidateOrder(c, sched, c.orderBuf)
@@ -390,22 +528,24 @@ func (g *gpuSim) issueStage(c *coreState, now uint64) error {
 				arbitrated = true
 				a.SchedArbs++
 			}
-			in := &sl.block.env.Block.Launch.Prog.Instrs[sl.w.PC()]
+			pc := sl.w.PC()
+			in := &g.prog.Instrs[pc]
+			d := &g.dec[pc]
 			a.SBSearches++
-			if c.hazard(sl, in) {
+			if c.hazard(sl, d) {
 				continue
 			}
-			class := kernel.ClassOf(in.Op)
+			class := d.Class
 			if !c.unitFree(class, sched, now) {
 				// Hazard-free but structurally blocked: the warp becomes
 				// issuable the moment the unit frees, so the fast-forward
 				// must not jump past that point.
-				if t := c.unitFreeAt(class, sched); t < g.structNext {
-					g.structNext = t
+				if t := c.unitFreeAt(class, sched); t < st.structNext {
+					st.structNext = t
 				}
 				continue
 			}
-			if err := g.issueInstr(c, sl, i, sched, in, class, now); err != nil {
+			if err := st.issueInstr(c, sl, i, sched, in, d, class, now); err != nil {
 				return err
 			}
 			c.issueRR[sched] = (i + 1) % n
@@ -417,18 +557,26 @@ func (g *gpuSim) issueStage(c *coreState, now uint64) error {
 }
 
 // issueInstr executes one instruction functionally and models its timing.
-func (g *gpuSim) issueInstr(c *coreState, sl *warpSlot, slotIdx, sched int, in *kernel.Instr, class kernel.Class, now uint64) error {
-	a := &g.act
+func (st *stepper) issueInstr(c *coreState, sl *warpSlot, slotIdx, sched int, in *kernel.Instr, d *kernel.DInstr, class kernel.Class, now uint64) error {
+	a := st.act
 	cfg := c.cfg
-	prog := sl.block.env.Block.Launch.Prog
 
-	info, err := sl.w.Exec(prog, sl.block.env)
+	if st.stage {
+		sl.block.env.Capture = &st.capture
+	}
+	info, err := sl.w.Exec(st.sim.prog, sl.block.env)
 	if err != nil {
 		return fmt.Errorf("core %d slot %d: %w", c.id, slotIdx, err)
 	}
 
-	g.progress = true
+	st.progress = true
 	sl.ibValid = false
+	if c.useMasks {
+		c.issuable &^= 1 << slotIdx
+		if !sl.w.Finished && !sl.w.AtBarrier {
+			c.fetchable |= 1 << slotIdx
+		}
+	}
 	a.IssuedInstrs++
 	a.IBufReads++
 	a.WSTReads++
@@ -441,14 +589,14 @@ func (g *gpuSim) issueInstr(c *coreState, sl *warpSlot, slotIdx, sched int, in *
 	// Register file activity: one bank row read per source register
 	// (operands collected over multiple cycles), one collector fill and one
 	// crossbar transfer each.
-	c.scratch = in.SrcRegs(c.scratch[:0])
-	nsrc := uint64(len(c.scratch))
+	nsrc := uint64(d.NSrc)
 	a.RFBankReads += nsrc
 	a.OCWrites += nsrc
 	a.OperandXbar += nsrc
 
 	lanes := info.ActiveLanes
 	var latency uint64
+	recIdx := -1
 	hasWB := in.HasDst
 
 	switch class {
@@ -478,7 +626,7 @@ func (g *gpuSim) issueInstr(c *coreState, sl *warpSlot, slotIdx, sched int, in *
 	case kernel.ClassMem:
 		a.MemWarpInstrs++
 		var err error
-		latency, err = g.memAccess(c, in, &info, now)
+		latency, recIdx, err = st.memAccess(c, in, &info, now)
 		if err != nil {
 			return err
 		}
@@ -490,17 +638,17 @@ func (g *gpuSim) issueInstr(c *coreState, sl *warpSlot, slotIdx, sched int, in *
 
 	if info.AtBarrier {
 		sl.block.atBarrier++
-		g.maybeReleaseBarrier(c, sl.block)
+		c.maybeReleaseBarrier(sl.block)
 	}
 	if info.Finished {
 		sl.block.finished++
 		a.WSTWrites++
-		g.maybeReleaseBarrier(c, sl.block)
+		c.maybeReleaseBarrier(sl.block)
 	}
 
 	if class == kernel.ClassCtrl && !hasWB {
 		// Control instructions complete immediately; no pipeline slot held.
-		g.retireIfDone(c, sl.block)
+		st.retireIfDone(c, sl.block)
 		return nil
 	}
 
@@ -514,14 +662,31 @@ func (g *gpuSim) issueInstr(c *coreState, sl *warpSlot, slotIdx, sched int, in *
 	if isMem {
 		sl.memPending++
 	}
+	if recIdx >= 0 {
+		// The writeback latency depends on staged memory-system requests:
+		// the event is pushed by the barrier replay instead.
+		rec := &st.staged[recIdx]
+		rec.needEvent = true
+		rec.slot = slotIdx
+		rec.reg = in.Dst
+		rec.hasWB = hasWB
+		rec.lanes = lanes
+		return nil
+	}
 	c.events.push(wbEvent{cycle: now + latency, slot: slotIdx, reg: in.Dst, hasWB: hasWB, isMem: isMem, lanes: lanes})
 	return nil
 }
 
 // memAccess routes a memory instruction through the LDST unit: AGU, then the
-// space-specific path. It returns the dependency latency.
-func (g *gpuSim) memAccess(c *coreState, in *kernel.Instr, info *kernel.StepInfo, now uint64) (uint64, error) {
-	a := &g.act
+// space-specific path. It returns the dependency latency and, when the
+// latency depends on memory-system requests the stepper staged for the
+// cycle barrier, the index of the staged record (-1 otherwise — the caller
+// pushes the writeback event itself). Core-private structures — shared
+// memory banks, the L1/constant/texture caches, the LDST pipeline — are
+// always modelled inline; only traffic below the cores is staged.
+func (st *stepper) memAccess(c *coreState, in *kernel.Instr, info *kernel.StepInfo, now uint64) (uint64, int, error) {
+	a := st.act
+	g := st.sim
 	cfg := c.cfg
 	lanes := info.ActiveLanes
 
@@ -538,17 +703,22 @@ func (g *gpuSim) memAccess(c *coreState, in *kernel.Instr, info *kernel.StepInfo
 		a.SMemAccesses += uint64(lanes)
 		a.SMemConflicts += uint64(extra)
 		c.ldstFree = now + aguCycles + uint64(extra)
-		return uint64(cfg.SMemLatency) + uint64(extra), nil
+		return uint64(cfg.SMemLatency) + uint64(extra), -1, nil
 
 	case kernel.SpaceConst, kernel.SpaceParam:
 		addrs := constDistinctAddrs(info, c.addrBuf[:0])
 		c.addrBuf = addrs
 		a.ConstReads += uint64(len(addrs))
 		worst := uint64(cfg.SMemLatency)
+		arenaStart := len(st.addrArena)
 		for _, ad := range addrs {
 			res := c.ccache.Access(uint64(ad), false)
 			if !res.Hit {
 				a.ConstMisses++
+				if st.stage {
+					st.addrArena = append(st.addrArena, ad)
+					continue
+				}
 				done := g.mem.globalSegment(now, constRegionBase+ad, cfg.ConstLineB, false, a)
 				if done-now > worst {
 					worst = done - now
@@ -556,11 +726,18 @@ func (g *gpuSim) memAccess(c *coreState, in *kernel.Instr, info *kernel.StepInfo
 			}
 		}
 		c.ldstFree = now + aguCycles + uint64(len(addrs)-1)
-		return worst, nil
+		if miss := st.addrArena[arenaStart:]; st.stage && len(miss) > 0 {
+			st.staged = append(st.staged, stagedAccess{
+				c: c, space: kernel.SpaceConst, addrs: miss,
+				reqBytes: cfg.ConstLineB, now: now, floorLat: worst,
+			})
+			return 0, len(st.staged) - 1, nil
+		}
+		return worst, -1, nil
 
 	case kernel.SpaceTexture:
 		if c.tcache == nil {
-			return 0, fmt.Errorf("sim: texture access on %s, which has no texture cache configured", cfg.Name)
+			return 0, -1, fmt.Errorf("sim: texture access on %s, which has no texture cache configured", cfg.Name)
 		}
 		// Per-lane addresses collapse to distinct cache lines (deduplicated
 		// in lane order, so cache behaviour is deterministic); hits are
@@ -584,10 +761,15 @@ func (g *gpuSim) memAccess(c *coreState, in *kernel.Instr, info *kernel.StepInfo
 		}
 		c.lineBuf = lines
 		worst := uint64(cfg.SMemLatency) + 12 // TMU addressing + filtering pipe
+		arenaStart := len(st.addrArena)
 		for _, line := range lines {
 			a.TexReads++
 			if res := c.tcache.Access(uint64(line), false); !res.Hit {
 				a.TexMisses++
+				if st.stage {
+					st.addrArena = append(st.addrArena, line)
+					continue
+				}
 				done := g.mem.globalSegment(now, line, cfg.TexLineB, false, a)
 				if done-now > worst {
 					worst = done - now
@@ -595,7 +777,14 @@ func (g *gpuSim) memAccess(c *coreState, in *kernel.Instr, info *kernel.StepInfo
 			}
 		}
 		c.ldstFree = now + aguCycles + uint64(len(lines))
-		return worst, nil
+		if miss := st.addrArena[arenaStart:]; st.stage && len(miss) > 0 {
+			st.staged = append(st.staged, stagedAccess{
+				c: c, space: kernel.SpaceTexture, addrs: miss,
+				reqBytes: cfg.TexLineB, now: now, floorLat: worst,
+			})
+			return 0, len(st.staged) - 1, nil
+		}
+		return worst, -1, nil
 
 	case kernel.SpaceGlobal:
 		write := in.Op == kernel.OpSt
@@ -605,44 +794,68 @@ func (g *gpuSim) memAccess(c *coreState, in *kernel.Instr, info *kernel.StepInfo
 		a.CoalescedReqs += uint64(len(segs))
 		a.PRTWrites += uint64(len(segs))
 		var worst uint64
+		arenaStart := len(st.addrArena)
 		for _, seg := range segs {
-			segDone := g.globalThroughL1(c, now, seg, write, a)
+			segDone := st.globalThroughL1(c, now, seg, write, a)
 			if segDone > worst {
 				worst = segDone
 			}
 		}
 		c.ldstFree = now + aguCycles + uint64(len(segs))
+		staged := st.addrArena[arenaStart:]
 		if write {
+			if len(staged) > 0 {
+				// Store traffic is staged for the memory system, but the
+				// dependency latency is the fixed hand-off cost: the caller
+				// pushes the event as usual.
+				st.staged = append(st.staged, stagedAccess{
+					c: c, space: kernel.SpaceGlobal, write: true, addrs: staged,
+					reqBytes: segmentBytes, now: now,
+				})
+			}
 			// Stores retire once handed to the memory system.
-			return 4, nil
+			return 4, -1, nil
+		}
+		if len(staged) > 0 {
+			st.staged = append(st.staged, stagedAccess{
+				c: c, space: kernel.SpaceGlobal, addrs: staged,
+				reqBytes: segmentBytes, now: now, worstAbs: worst,
+			})
+			return 0, len(st.staged) - 1, nil
 		}
 		if worst <= now {
 			worst = now + uint64(cfg.SMemLatency)
 		}
-		return worst - now, nil
+		return worst - now, -1, nil
 	}
-	return 0, fmt.Errorf("sim: unhandled memory space %v", in.Space)
+	return 0, -1, fmt.Errorf("sim: unhandled memory space %v", in.Space)
 }
 
 // globalThroughL1 sends one segment through the per-core L1 (when present)
-// and on to the shared memory system.
-func (g *gpuSim) globalThroughL1(c *coreState, now uint64, seg uint32, write bool, a *Activity) uint64 {
+// and on to the shared memory system — or, when staging, appends it to the
+// stepper's arena for the barrier replay and returns 0 (the staged record
+// resolves the completion time).
+func (st *stepper) globalThroughL1(c *coreState, now uint64, seg uint32, write bool, a *Activity) uint64 {
+	forward := func() uint64 {
+		if st.stage {
+			st.addrArena = append(st.addrArena, seg)
+			return 0
+		}
+		return st.sim.mem.globalSegment(now, seg, segmentBytes, write, a)
+	}
 	if c.l1 != nil {
 		res := c.l1.Access(uint64(seg), write)
 		if write {
 			a.L1Writes++
 			// Write-through: always forwarded.
-			return g.mem.globalSegment(now, seg, segmentBytes, true, a)
+			return forward()
 		}
 		a.L1Reads++
 		if res.Hit {
 			return now + uint64(c.cfg.SMemLatency) + 8
 		}
 		a.L1Misses++
-		return g.mem.globalSegment(now, seg, segmentBytes, false, a)
+		return forward()
 	}
-	if write {
-		return g.mem.globalSegment(now, seg, segmentBytes, true, a)
-	}
-	return g.mem.globalSegment(now, seg, segmentBytes, false, a)
+	return forward()
 }

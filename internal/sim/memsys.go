@@ -175,7 +175,32 @@ func smemExtraCycles(info *kernel.StepInfo, banks int) int {
 	var addrs [kernel.WarpSize]uint32
 	var bankOf [kernel.WarpSize]int32
 	var firsts [kernel.WarpSize]bool
+	fastBanks := banks <= 64
 	for g := 0; g < kernel.WarpSize; g += group {
+		if fastBanks {
+			// Single-pass conflict screen: mark each active lane's bank in
+			// a word; if no bank repeats, the group is conflict-free (the
+			// max distinct-address degree is 1) and the quadratic
+			// first-occurrence analysis below is skipped. A repeated bank
+			// may still be a broadcast, so collisions fall through to the
+			// exact algorithm.
+			var occ uint64
+			clash := false
+			for l := g; l < g+group && l < kernel.WarpSize; l++ {
+				if info.ExecMask&(1<<l) == 0 {
+					continue
+				}
+				bank := uint64(1) << (int(info.Addrs[l]/4) % banks)
+				if occ&bank != 0 {
+					clash = true
+					break
+				}
+				occ |= bank
+			}
+			if !clash {
+				continue
+			}
+		}
 		m := 0
 		for l := g; l < g+group && l < kernel.WarpSize; l++ {
 			if info.ExecMask&(1<<l) == 0 {

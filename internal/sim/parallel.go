@@ -1,0 +1,469 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/kernel"
+	"gpusimpow/internal/runner"
+)
+
+// Parallel core stepping.
+//
+// Within one clock cycle the per-core work — event drain, retirement
+// sweep, fetch, issue — couples cores through exactly three shared things:
+// the scalar activity counters, the chip-level occupancy/dispatch
+// bookkeeping, and the memory hierarchy below the cores (the shared L2 and
+// DRAM timing state, plus the functional global-memory image). Everything
+// else (warp slots, L1/const/texture caches, pipelines, writeback heaps)
+// is core-private. So the cores are sharded across a bounded worker set:
+// each worker steps a fixed contiguous core range against a private
+// stepper that accumulates counters in an Activity shard, occupancy
+// changes as deltas, functional global-memory operations in a
+// kernel.GlobalCapture, and L2/DRAM-bound requests as staged records. At
+// the cycle barrier the main goroutine merges the shards and replays the
+// captures and staged requests worker by worker — ascending worker index
+// is ascending core id, and within a worker records are appended in issue
+// order, so the replay reproduces the sequential loop's total order and
+// with it every counter and every byte of memory, bit for bit
+// (TestParallelEquivalence). SimWorkers=1 bypasses all of this: the one
+// sequential stepper aliases the real Activity and applies memory traffic
+// inline, which IS the pre-parallelism code path.
+//
+// Deferring a load's register write to the barrier is invisible to the
+// machine model: the scoreboard (or the blocking-warp rule when there is
+// no scoreboard) prevents any dependent issue until the instruction's
+// writeback event fires, cycles after the barrier replay has landed the
+// value.
+
+// stagedAccess is one memory instruction's deferred L2/DRAM traffic, plus
+// the writeback event whose latency depends on it.
+type stagedAccess struct {
+	c *coreState
+	// space selects the replay path: SpaceConst/SpaceParam (constant-cache
+	// miss fills), SpaceTexture (texture miss fills), SpaceGlobal.
+	space kernel.Space
+	write bool
+	// addrs are the deferred request addresses (constant miss addresses,
+	// texture miss lines, or global segment bases), sliced out of the
+	// stepper's arena.
+	addrs []uint32
+	// reqBytes is the per-request transfer size.
+	reqBytes int
+	now      uint64
+	// floorLat is the latency floor for const/texture accesses; worstAbs
+	// is the max completion cycle already observed inline (global-read L1
+	// hits).
+	floorLat uint64
+	worstAbs uint64
+	// needEvent: the writeback event could not be pushed at issue because
+	// its latency depends on the replayed requests. slot/reg/hasWB/lanes
+	// parameterize it (isMem is implied).
+	needEvent bool
+	slot      int
+	reg       uint8
+	hasWB     bool
+	lanes     int
+}
+
+// stepper is the per-worker view of one clock cycle. The sequential path
+// uses a single stepper whose act aliases the simulation's real Activity
+// and whose stage flag is off, making every staging branch fall through to
+// the exact pre-parallelism behaviour.
+type stepper struct {
+	sim *gpuSim
+	// act receives the phase's scalar counters: &sim.act when sequential,
+	// &shard when parallel.
+	act   *Activity
+	shard Activity
+	// stage diverts shared-memory-system traffic and functional global
+	// ops into staged/capture instead of applying them inline.
+	stage bool
+
+	progress   bool
+	structNext uint64
+	busyCores  []int
+
+	// Retirement deltas, applied to the chip-wide occupancy counters at
+	// the merge (nothing reads them mid-phase).
+	retiredDelta       int
+	residentDelta      int
+	clusterBlocksDelta []int
+	clusterCoresDelta  []int
+
+	capture   kernel.GlobalCapture
+	staged    []stagedAccess
+	addrArena []uint32
+
+	err        error
+	panicVal   any
+	panicStack []byte
+}
+
+func newStepper(s *gpuSim, parallel bool) *stepper {
+	st := &stepper{
+		sim:                s,
+		stage:              parallel,
+		clusterBlocksDelta: make([]int, s.cfg.Clusters),
+		clusterCoresDelta:  make([]int, s.cfg.Clusters),
+	}
+	if parallel {
+		st.act = &st.shard
+	} else {
+		st.act = &s.act
+	}
+	return st
+}
+
+// reset prepares the stepper for a new cycle.
+func (st *stepper) reset() {
+	st.progress = false
+	st.structNext = ^uint64(0)
+	st.busyCores = st.busyCores[:0]
+	st.retiredDelta = 0
+	st.residentDelta = 0
+	for i := range st.clusterBlocksDelta {
+		st.clusterBlocksDelta[i] = 0
+		st.clusterCoresDelta[i] = 0
+	}
+	if st.stage {
+		st.shard = Activity{}
+		st.capture.Reset()
+		st.staged = st.staged[:0]
+		st.addrArena = st.addrArena[:0]
+	}
+	st.err = nil
+}
+
+// stepRange steps the cores in [lo, hi), stopping at the first error (the
+// sequential loop aborts the same way).
+func (st *stepper) stepRange(lo, hi int, cycle uint64) {
+	for _, c := range st.sim.cores[lo:hi] {
+		if !c.residentWarps() && len(c.events) == 0 {
+			continue
+		}
+		st.busyCores = append(st.busyCores, c.id)
+		st.stepCore(c, cycle)
+		if st.err != nil {
+			return
+		}
+	}
+}
+
+// stepCore runs one core's cycle: writeback drain, retirement sweep,
+// fetch, issue, busy-cycle credit.
+func (st *stepper) stepCore(c *coreState, cycle uint64) {
+	if c.drainEvents(cycle, st.act) > 0 {
+		st.progress = true
+	}
+	st.drainRetirements(c)
+	if c.fetchStage(cycle, st.act) > 0 {
+		st.progress = true
+	}
+	if err := st.issueStage(c, cycle); err != nil {
+		st.err = err
+		return
+	}
+	// CoreBusyCycles is indexed by core id: each core has exactly one
+	// owning worker per cycle, so writing the real slice directly is
+	// race-free and spares the shard a slice.
+	st.sim.act.CoreBusyCycles[c.id]++
+}
+
+// retireIfDone frees a block once all warps finished and all in-flight
+// instructions drained. Chip-wide occupancy updates accumulate as deltas.
+func (st *stepper) retireIfDone(c *coreState, b *blockRt) bool {
+	if b.finished < b.total || b.outstanding != 0 {
+		return false
+	}
+	c.retire(b, st.sim.blockSMem, st.sim.blockRegs)
+	st.retiredDelta++
+	st.residentDelta += b.total
+	st.clusterBlocksDelta[c.cluster]++
+	if !c.residentWarps() {
+		st.clusterCoresDelta[c.cluster]++
+	}
+	st.progress = true
+	return true
+}
+
+// drainRetirements retires any blocks that completed via event drains.
+func (st *stepper) drainRetirements(c *coreState) {
+	for i := 0; i < len(c.blocks); {
+		if st.retireIfDone(c, c.blocks[i]) {
+			continue // retire spliced the slice
+		}
+		i++
+	}
+}
+
+// mergeStepper folds a stepper's cycle results into the simulation.
+func (s *gpuSim) mergeStepper(st *stepper) {
+	if st.progress {
+		s.progress = true
+	}
+	if st.structNext < s.structNext {
+		s.structNext = st.structNext
+	}
+	s.retired += st.retiredDelta
+	s.resident -= st.residentDelta
+	for cl, d := range st.clusterBlocksDelta {
+		s.clusterBlocks[cl] -= d
+	}
+	for cl, d := range st.clusterCoresDelta {
+		s.clusterCores[cl] -= d
+	}
+	if st.stage {
+		s.act.addScalars(&st.shard)
+	}
+	s.busyCores = append(s.busyCores, st.busyCores...)
+}
+
+// replayStaged applies one stepper's deferred memory-system requests in
+// record order, computing the deferred writeback latencies exactly as the
+// sequential path would have at issue.
+func (s *gpuSim) replayStaged(st *stepper) {
+	a := &s.act
+	for i := range st.staged {
+		rec := &st.staged[i]
+		var latency uint64
+		switch rec.space {
+		case kernel.SpaceConst, kernel.SpaceParam:
+			worst := rec.floorLat
+			for _, ad := range rec.addrs {
+				done := s.mem.globalSegment(rec.now, constRegionBase+ad, rec.reqBytes, false, a)
+				if done-rec.now > worst {
+					worst = done - rec.now
+				}
+			}
+			latency = worst
+		case kernel.SpaceTexture:
+			worst := rec.floorLat
+			for _, line := range rec.addrs {
+				done := s.mem.globalSegment(rec.now, line, rec.reqBytes, false, a)
+				if done-rec.now > worst {
+					worst = done - rec.now
+				}
+			}
+			latency = worst
+		case kernel.SpaceGlobal:
+			if rec.write {
+				for _, seg := range rec.addrs {
+					s.mem.globalSegment(rec.now, seg, rec.reqBytes, true, a)
+				}
+				continue // store events were pushed at issue (fixed latency)
+			}
+			worst := rec.worstAbs
+			for _, seg := range rec.addrs {
+				done := s.mem.globalSegment(rec.now, seg, rec.reqBytes, false, a)
+				if done > worst {
+					worst = done
+				}
+			}
+			if worst <= rec.now {
+				worst = rec.now + uint64(s.cfg.SMemLatency)
+			}
+			latency = worst - rec.now
+		}
+		if rec.needEvent {
+			rec.c.events.push(wbEvent{
+				cycle: rec.now + latency, slot: rec.slot, reg: rec.reg,
+				hasWB: rec.hasWB, isMem: true, lanes: rec.lanes,
+			})
+		}
+	}
+}
+
+// workerPool is the persistent goroutine set that steps core shards. The
+// cycle barrier is a generation counter plus a completion count: the main
+// goroutine publishes work by bumping gen, workers report by bumping done.
+// All transitions go through sync/atomic, which both orders the memory
+// (publish/observe) and satisfies the race detector. Waiters spin briefly
+// then yield — on a host with fewer free CPUs than workers a pure spin
+// would livelock the barrier, and the equivalence tests run 8 workers on
+// whatever CI gives them.
+type workerPool struct {
+	steppers []*stepper
+	ranges   [][2]int
+	cycle    uint64
+	gen      atomic.Uint64
+	done     atomic.Int64
+	quit     atomic.Bool
+}
+
+func newWorkerPool(s *gpuSim, workers int) *workerPool {
+	p := &workerPool{}
+	n := len(s.cores)
+	base, rem := n/workers, n%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		p.steppers = append(p.steppers, newStepper(s, true))
+		p.ranges = append(p.ranges, [2]int{lo, lo + size})
+		lo += size
+	}
+	for w := 0; w < workers; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *workerPool) worker(w int) {
+	st := p.steppers[w]
+	lo, hi := p.ranges[w][0], p.ranges[w][1]
+	var lastGen uint64
+	for {
+		for spin := 0; ; spin++ {
+			g := p.gen.Load()
+			if g != lastGen {
+				lastGen = g
+				break
+			}
+			if spin > 64 {
+				runtime.Gosched()
+			}
+		}
+		if p.quit.Load() {
+			p.done.Add(1)
+			return
+		}
+		p.step(st, lo, hi)
+		p.done.Add(1)
+	}
+}
+
+// step runs one worker's shard with panic containment: the panic value and
+// stack are recorded for the main goroutine to re-raise, keeping the pool
+// goroutines alive for the run's remaining cycles (the runner's job-level
+// containment then turns the re-raised panic into a *PanicError).
+func (p *workerPool) step(st *stepper, lo, hi int) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.panicVal = r
+			st.panicStack = debug.Stack()
+		}
+	}()
+	st.stepRange(lo, hi, p.cycle)
+}
+
+// runCycle steps all shards through one cycle and waits for the barrier.
+func (p *workerPool) runCycle(cycle uint64) {
+	for _, st := range p.steppers {
+		st.reset()
+	}
+	p.cycle = cycle
+	p.done.Store(0)
+	p.gen.Add(1)
+	p.wait()
+}
+
+func (p *workerPool) wait() {
+	want := int64(len(p.steppers))
+	for spin := 0; p.done.Load() != want; spin++ {
+		if spin > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// stop shuts the worker goroutines down (deferred from Run, so it also
+// runs after an error or a re-raised worker panic).
+func (p *workerPool) stop() {
+	p.quit.Store(true)
+	p.done.Store(0)
+	p.gen.Add(1)
+	p.wait()
+}
+
+// stepParallel runs one parallel cycle: fan out, barrier, merge, replay.
+func (s *gpuSim) stepParallel(cycle uint64) error {
+	p := s.pool
+	p.runCycle(cycle)
+	for _, st := range p.steppers {
+		if st.panicVal != nil {
+			panic(fmt.Sprintf("sim worker panic: %v\n%s", st.panicVal, st.panicStack))
+		}
+	}
+	for _, st := range p.steppers {
+		if st.err != nil {
+			// The lowest-core error wins, as in the sequential loop (worker
+			// ranges ascend and a worker stops at its first error). The
+			// machine state is abandoned either way.
+			return st.err
+		}
+	}
+	for _, st := range p.steppers {
+		s.mergeStepper(st)
+	}
+	// Functional global memory first, then memory-system timing: the two
+	// domains are disjoint, and within each the worker-then-record order
+	// reproduces the sequential (core, issue) interleaving exactly.
+	for _, st := range p.steppers {
+		st.capture.Replay(s.global, 0, st.capture.Len())
+	}
+	for _, st := range p.steppers {
+		s.replayStaged(st)
+	}
+	return nil
+}
+
+// resolveSimWorkers picks the worker count for one run and reserves its
+// extra threads from the shared runner budget. Precedence:
+// GPUSIMPOW_SIM_WORKERS (positive integer) over cfg.SimWorkers (positive)
+// over auto. Forced counts reserve unconditionally — the user's word beats
+// the heuristic; auto asks TryReserveWorkers for GOMAXPROCS-derived
+// workers and takes whatever the sweep-level fan-out left over, falling
+// back to the sequential path when nothing is free. The count is capped at
+// the core count (extra workers would own empty shards). Returns the
+// worker count and the number of budget slots to release after the run.
+func resolveSimWorkers(cfg *config.GPU) (workers, reserved int) {
+	req := 0 // 0 = auto
+	if v := os.Getenv("GPUSIMPOW_SIM_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			req = n
+		}
+	} else if cfg.SimWorkers > 0 {
+		req = cfg.SimWorkers
+	}
+	maxW := cfg.NumCores()
+	if req == 0 {
+		want := runtime.GOMAXPROCS(0)
+		// Never auto-spin more stepper threads than physical CPUs: with
+		// GOMAXPROCS inflated past runtime.NumCPU (common in test
+		// containers), the spin barrier degenerates into a scheduling
+		// storm — runnable spinners and the one goroutine with real work
+		// round-robin on the same core. A forced count still gets what it
+		// asked for; auto prefers the sequential path over oversubscribing.
+		if ncpu := runtime.NumCPU(); want > ncpu {
+			want = ncpu
+		}
+		if want > maxW {
+			want = maxW
+		}
+		if want <= 1 {
+			return 1, 0
+		}
+		got := runner.TryReserveWorkers(want - 1)
+		return got + 1, got
+	}
+	if req > maxW {
+		req = maxW
+	}
+	if req <= 1 {
+		return 1, 0
+	}
+	runner.ReserveWorkers(req - 1)
+	return req, req - 1
+}
+
+// popcount64 is a tiny alias so mask-path call sites read uniformly.
+func popcount64(m uint64) int { return bits.OnesCount64(m) }

@@ -1,0 +1,148 @@
+package sim_test
+
+// Equivalence tests for intra-simulation parallel core stepping: any worker
+// count must be bit-identical to the sequential reference loop in every
+// activity counter, in the derived headline results, and in the functional
+// global-memory image — in both the event-driven and dense clock modes —
+// and repeated runs at the same worker count must reproduce themselves.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gpusimpow/internal/config"
+	"gpusimpow/internal/kernel"
+	"gpusimpow/internal/sim"
+)
+
+func TestParallelEquivalence(t *testing.T) {
+	// The config knob must decide the worker count here, whatever the
+	// ambient environment (make ci-seq exports GPUSIMPOW_SIM_WORKERS=1).
+	t.Setenv("GPUSIMPOW_SIM_WORKERS", "")
+
+	gpus := []func() *config.GPU{config.GT240, config.GTX580}
+	kernels := []string{"vectorAdd", "BlackScholes", "bfs", "mergeSort"}
+	for _, mk := range gpus {
+		for _, dense := range []bool{false, true} {
+			for _, kname := range kernels {
+				ref := mk()
+				ref.DenseClock = dense
+				ref.SimWorkers = 1
+				refRes, refMem := runSuiteMode(t, ref, kname)
+
+				for _, workers := range []int{2, 8} {
+					name := fmt.Sprintf("%s/%s/dense=%v/workers=%d", ref.Name, kname, dense, workers)
+					t.Run(name, func(t *testing.T) {
+						// Two repetitions: the second catches any hidden
+						// scheduling-dependent state the first happened to
+						// get right.
+						for rep := 0; rep < 2; rep++ {
+							cfg := mk()
+							cfg.DenseClock = dense
+							cfg.SimWorkers = workers
+							res, mem := runSuiteMode(t, cfg, kname)
+							if len(res) != len(refRes) {
+								t.Fatalf("rep %d: launch counts differ: %d vs %d", rep, len(res), len(refRes))
+							}
+							for i := range res {
+								if !reflect.DeepEqual(res[i].Activity, refRes[i].Activity) {
+									t.Errorf("rep %d launch %d: activity counters diverge:\nparallel:   %+v\nsequential: %+v",
+										rep, i, res[i].Activity, refRes[i].Activity)
+								} else if !reflect.DeepEqual(res[i], refRes[i]) {
+									t.Errorf("rep %d launch %d: derived results diverge:\nparallel:   %+v\nsequential: %+v",
+										rep, i, res[i], refRes[i])
+								}
+							}
+							if !reflect.DeepEqual(mem, refMem) {
+								t.Errorf("rep %d: global memory images diverge from the sequential reference", rep)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestPooledWarpStateIsolation drives more blocks through a small GPU than
+// can be resident at once, so retired warps and block contexts recycle
+// through the per-core pools many times. Block 0 poisons a register and its
+// shared memory; every other block stores the same never-written register
+// plus the same never-written shared word, and must observe zeros — a
+// pooled warp or block context leaking state across blocks shows up as the
+// poison value in a later block's output.
+func TestPooledWarpStateIsolation(t *testing.T) {
+	t.Setenv("GPUSIMPOW_SIM_WORKERS", "")
+
+	const (
+		blocks  = 256
+		threads = 16 // partial warp: lane masks must reset too
+		poison  = 0xBEEF
+	)
+	b := kernel.NewBuilder("poolIsolation", 8)
+	b.Params(1)
+	b.SMem(4 * threads)
+	// r0 = global thread id (r1, r2 scratch).
+	b.SReg(0, kernel.SpecTidX)
+	b.SReg(1, kernel.SpecCtaX)
+	b.SReg(2, kernel.SpecNTidX)
+	b.IMad(0, kernel.R(1), kernel.R(2), kernel.R(0))
+	// r6 = (ctaX == 0); r2 = shared-memory offset of this thread's word.
+	b.SReg(5, kernel.SpecCtaX)
+	b.ISet(6, kernel.CmpEQ, kernel.R(5), kernel.I(0))
+	b.SReg(1, kernel.SpecTidX)
+	b.IShl(2, kernel.R(1), kernel.I(2))
+	// Block 0 poisons r7 and its shared-memory word; everyone else leaves
+	// both untouched and must read them back as zero.
+	b.When(6).MovI(7, poison)
+	b.When(6).St(kernel.SpaceShared, kernel.R(2), kernel.R(7), 0)
+	b.Bar()
+	b.Ld(kernel.SpaceShared, 3, kernel.R(2), 0)
+	b.IAdd(3, kernel.R(3), kernel.R(7))
+	// out[gtid] = r3 + r7's contribution.
+	b.IShl(4, kernel.R(0), kernel.I(2))
+	b.LdParam(1, 0)
+	b.IAdd(4, kernel.R(4), kernel.R(1))
+	b.St(kernel.SpaceGlobal, kernel.R(4), kernel.R(3), 0)
+	b.Exit()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := config.GT240()
+			cfg.SimWorkers = workers
+			g, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem := kernel.NewGlobalMem()
+			const outBase = 0x1000
+			for i := 0; i < blocks*threads; i++ {
+				mem.Write32(outBase+uint32(4*i), 0xDEADDEAD)
+			}
+			l := &kernel.Launch{
+				Prog:   prog,
+				Grid:   kernel.Dim{X: blocks, Y: 1},
+				Block:  kernel.Dim{X: threads, Y: 1},
+				Params: []uint32{outBase},
+			}
+			if _, err := g.Run(l, mem, nil); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < blocks*threads; i++ {
+				want := uint32(0)
+				if i < threads { // block 0 sees its own poison twice
+					want = 2 * poison
+				}
+				if got := mem.Read32(outBase + uint32(4*i)); got != want {
+					t.Fatalf("thread %d (block %d): out = %#x, want %#x — pooled state leaked across blocks",
+						i, i/threads, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // Warp scheduling policies. The paper's baseline is the rotating-priority
 // (round-robin) scheduler of Section III-C1; its conclusion proposes
@@ -30,17 +33,42 @@ func (g *gpuSim) candidateOrder(c *coreState, sched int, buf []int) []int {
 		return sl.active && sl.ibValid && !sl.w.Finished && !sl.w.AtBarrier
 	}
 
+	// cand is the issuable mask restricted to this scheduler's slots; the
+	// mask-kept paths below iterate its set bits (ascending slot order,
+	// matching the field-scan loops they replace) instead of re-deriving
+	// the predicate per slot.
+	var cand uint64
+	if c.useMasks {
+		cand = c.issuable & c.schedMask[sched]
+		if cand == 0 {
+			return buf
+		}
+	}
+
 	switch g.policy {
 	case PolicyGTO:
-		// Greedy: last-issued warp first.
 		last := c.lastIssued[sched]
-		if last >= 0 && mine(last) && issuable(&c.slots[last]) {
-			buf = append(buf, last)
-		}
-		// Then all other issuable warps, oldest first.
-		for i := 0; i < n; i++ {
-			if i != last && mine(i) && issuable(&c.slots[i]) {
-				buf = append(buf, i)
+		if c.useMasks {
+			// Greedy: last-issued warp first, then the others ascending
+			// (the sort below orders them by age).
+			if last >= 0 && cand&(1<<last) != 0 {
+				buf = append(buf, last)
+			}
+			for m := cand; m != 0; m &= m - 1 {
+				if i := bits.TrailingZeros64(m); i != last {
+					buf = append(buf, i)
+				}
+			}
+		} else {
+			// Greedy: last-issued warp first.
+			if last >= 0 && mine(last) && issuable(&c.slots[last]) {
+				buf = append(buf, last)
+			}
+			// Then all other issuable warps, oldest first.
+			for i := 0; i < n; i++ {
+				if i != last && mine(i) && issuable(&c.slots[i]) {
+					buf = append(buf, i)
+				}
 			}
 		}
 		rest := buf
@@ -57,14 +85,25 @@ func (g *gpuSim) candidateOrder(c *coreState, sched int, buf []int) []int {
 		// The two sets live in reusable per-core buffers.
 		k := g.activeSet
 		active, pending := c.tlActive[:0], c.tlPend[:0]
-		for i := 0; i < n; i++ {
-			if !mine(i) || !issuable(&c.slots[i]) {
-				continue
+		if c.useMasks {
+			for m := cand; m != 0; m &= m - 1 {
+				i := bits.TrailingZeros64(m)
+				if c.slots[i].memPending > 0 {
+					pending = append(pending, i)
+				} else {
+					active = append(active, i)
+				}
 			}
-			if c.slots[i].memPending > 0 {
-				pending = append(pending, i)
-			} else {
-				active = append(active, i)
+		} else {
+			for i := 0; i < n; i++ {
+				if !mine(i) || !issuable(&c.slots[i]) {
+					continue
+				}
+				if c.slots[i].memPending > 0 {
+					pending = append(pending, i)
+				} else {
+					active = append(active, i)
+				}
 			}
 		}
 		sort.Slice(active, func(a, b int) bool {
@@ -100,6 +139,23 @@ func (g *gpuSim) candidateOrder(c *coreState, sched int, buf []int) []int {
 			rr = 0
 		}
 		first := rr + ((sched-rr)%S+S)%S
+		if c.useMasks {
+			// Candidates at or after the priority pointer's first class
+			// slot, ascending, then the wrapped remainder. The class has no
+			// members in [rr, first), so cand&^hi == the class's candidates
+			// below rr — exactly the field loop's second window.
+			var hi uint64
+			if first < 64 {
+				hi = cand >> first << first
+			}
+			for m := hi; m != 0; m &= m - 1 {
+				buf = append(buf, bits.TrailingZeros64(m))
+			}
+			for m := cand &^ hi; m != 0; m &= m - 1 {
+				buf = append(buf, bits.TrailingZeros64(m))
+			}
+			return buf
+		}
 		for i := first; i < n; i += S {
 			sl := &c.slots[i]
 			if sl.active && sl.ibValid && !sl.w.Finished && !sl.w.AtBarrier {

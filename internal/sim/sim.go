@@ -5,6 +5,7 @@ import (
 
 	"gpusimpow/internal/config"
 	"gpusimpow/internal/kernel"
+	"gpusimpow/internal/runner"
 )
 
 // GPU is the cycle-level simulator instance for one configuration.
@@ -35,6 +36,16 @@ type gpuSim struct {
 	launch *kernel.Launch
 	global *kernel.GlobalMem
 	cmem   *kernel.ConstMem
+
+	// prog/dec are the running program and its decoded instruction table,
+	// hoisted once per run for the issue hot path.
+	prog *kernel.Program
+	dec  []kernel.DInstr
+
+	// seq is the single stepper of the sequential path; pool is the worker
+	// set of the parallel path. Exactly one is non-nil per run.
+	seq  *stepper
+	pool *workerPool
 
 	policy    string
 	activeSet int
@@ -118,6 +129,20 @@ func (g *GPU) Run(l *kernel.Launch, global *kernel.GlobalMem, cmem *kernel.Const
 	// Kernel launch traffic over PCIe: parameters + launch descriptor.
 	s.act.PCIeBytes += uint64(4*len(l.Params)) + 256
 
+	s.prog = l.Prog
+	s.dec = l.Prog.Decoded()
+
+	workers, reserved := resolveSimWorkers(cfg)
+	if reserved > 0 {
+		defer runner.ReleaseWorkers(reserved)
+	}
+	if workers > 1 {
+		s.pool = newWorkerPool(s, workers)
+		defer s.pool.stop()
+	} else {
+		s.seq = newStepper(s, false)
+	}
+
 	if err := s.run(); err != nil {
 		return nil, err
 	}
@@ -150,26 +175,21 @@ func (s *gpuSim) run() error {
 		// detected stall can be credited in bulk below.
 		arbs0, searches0 := s.act.SchedArbs, s.act.SBSearches
 
-		anyBusy := false
 		s.busyCores = s.busyCores[:0]
-		for _, c := range s.cores {
-			if !c.residentWarps() && len(c.events) == 0 {
-				continue
-			}
-			anyBusy = true
-			s.busyCores = append(s.busyCores, c.id)
-			if c.drainEvents(cycle, &s.act) > 0 {
-				s.progress = true
-			}
-			s.drainRetirements(c)
-			if c.fetchStage(cycle, &s.act) > 0 {
-				s.progress = true
-			}
-			if err := s.issueStage(c, cycle); err != nil {
+		if s.pool != nil {
+			if err := s.stepParallel(cycle); err != nil {
 				return err
 			}
-			s.act.CoreBusyCycles[c.id]++
+		} else {
+			st := s.seq
+			st.reset()
+			st.stepRange(0, len(s.cores), cycle)
+			if st.err != nil {
+				return st.err
+			}
+			s.mergeStepper(st)
 		}
+		anyBusy := len(s.busyCores) > 0
 
 		// Cluster occupancy for the base-power model, from the
 		// incrementally-maintained per-cluster busy-core counts.
@@ -270,7 +290,7 @@ func (s *gpuSim) dispatch(cycle uint64) {
 		s.nextBlock++
 		cx := bid % s.launch.Grid.X
 		cy := bid / s.launch.Grid.X
-		bctx := kernel.NewBlockCtx(s.launch, cx, cy)
+		bctx := c.takeBlockCtx(s.launch, cx, cy)
 		env := &kernel.Env{Global: s.global, Const: s.cmem, Block: bctx}
 		wasResident := c.residentWarps()
 		b := c.place(s.launch, env, s.blockSMem, s.blockRegs, &s.act)
@@ -283,47 +303,6 @@ func (s *gpuSim) dispatch(cycle uint64) {
 		s.progress = true
 		// One dispatch per cycle: mirrors the serial hardware scheduler.
 		break
-	}
-}
-
-// maybeReleaseBarrier releases a block's barrier once every live warp waits.
-func (s *gpuSim) maybeReleaseBarrier(c *coreState, b *blockRt) {
-	if b.atBarrier == 0 || b.atBarrier+b.finished < b.total {
-		return
-	}
-	for _, slot := range b.slots {
-		if c.slots[slot].active && c.slots[slot].w.AtBarrier {
-			c.slots[slot].w.ReleaseBarrier()
-		}
-	}
-	b.atBarrier = 0
-}
-
-// retireIfDone frees a block once all warps finished and all in-flight
-// instructions drained, keeping the incremental occupancy counters current.
-// It reports whether the block retired.
-func (s *gpuSim) retireIfDone(c *coreState, b *blockRt) bool {
-	if b.finished < b.total || b.outstanding != 0 {
-		return false
-	}
-	c.retire(b, s.blockSMem, s.blockRegs)
-	s.retired++
-	s.resident -= b.total
-	s.clusterBlocks[c.cluster]--
-	if !c.residentWarps() {
-		s.clusterCores[c.cluster]--
-	}
-	s.progress = true
-	return true
-}
-
-// drainRetirements retires any blocks that completed via event drains.
-func (s *gpuSim) drainRetirements(c *coreState) {
-	for i := 0; i < len(c.blocks); {
-		if s.retireIfDone(c, c.blocks[i]) {
-			continue // retire spliced the slice
-		}
-		i++
 	}
 }
 
